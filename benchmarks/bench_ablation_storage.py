@@ -1,0 +1,70 @@
+"""Ablation: pointer structures vs succinct trees (Intro's 5-10x claim).
+
+Times the navigation primitives on both backends and asserts the memory
+blow-up direction.  The paper's motivation: in-memory pointer structures
+blow up memory by 5-10x over the document, which succinct trees avoid at
+the price of slower (but still O(1)/O(log n)) primitives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.succinct import SuccinctTree
+from repro.tree.binary import NIL
+
+
+@pytest.fixture(scope="module")
+def succinct(xmark_index):
+    return SuccinctTree.from_binary(xmark_index.tree)
+
+
+def _walk_pointer(tree) -> int:
+    total = 0
+    stack = [0]
+    left, right = tree.left, tree.right
+    while stack:
+        v = stack.pop()
+        total += 1
+        if right[v] != NIL:
+            stack.append(right[v])
+        if left[v] != NIL:
+            stack.append(left[v])
+    return total
+
+
+def _walk_succinct(succ) -> int:
+    total = 0
+    stack = [0]
+    while stack:
+        v = stack.pop()
+        total += 1
+        r = succ.next_sibling(v)
+        if r != NIL:
+            stack.append(r)
+        c = succ.first_child(v)
+        if c != NIL:
+            stack.append(c)
+    return total
+
+
+def test_traversal_pointer(benchmark, xmark_index):
+    assert benchmark(_walk_pointer, xmark_index.tree) == xmark_index.tree.n
+
+
+def test_traversal_succinct(benchmark, xmark_index, succinct):
+    # Cap the walk cost by benchmarking a subtree for large scales.
+    assert benchmark.pedantic(
+        _walk_succinct, args=(succinct,), rounds=1, iterations=1
+    ) == xmark_index.tree.n
+
+
+def test_memory_blowup(benchmark, xmark_index, succinct):
+    def measure():
+        return (
+            SuccinctTree.pointer_memory_bytes(xmark_index.tree),
+            succinct.memory_bytes(),
+        )
+
+    pointer, compact = benchmark(measure)
+    assert pointer > 3 * compact  # pointers blow up memory (paper: 5-10x)

@@ -1,0 +1,48 @@
+"""Construction costs: parse, encode, index, succinct build.
+
+The paper's setting assumes the indexes are built once; these rows record
+what that once costs in this substrate (parse -> fcns encode -> label
+index -> succinct tree).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.labels import LabelIndex
+from repro.index.succinct import SuccinctTree
+from repro.tree.binary import BinaryTree
+from repro.tree.parser import parse_xml
+from repro.xmark.generator import XMarkGenerator
+
+from conftest import SCALE
+
+
+@pytest.fixture(scope="module")
+def xml_text():
+    return XMarkGenerator(scale=min(SCALE, 1.0), seed=42, text_content=True).xml()
+
+
+@pytest.fixture(scope="module")
+def document(xml_text):
+    return parse_xml(xml_text)
+
+
+def test_parse_xml(benchmark, xml_text):
+    doc = benchmark(parse_xml, xml_text)
+    assert doc.size() > 0
+
+
+def test_fcns_encode(benchmark, document):
+    tree = benchmark(BinaryTree.from_document, document)
+    assert tree.n == document.size()
+
+
+def test_label_index_build(benchmark, document):
+    tree = BinaryTree.from_document(document)
+    benchmark(LabelIndex, tree)
+
+
+def test_succinct_build(benchmark, document):
+    tree = BinaryTree.from_document(document)
+    benchmark.pedantic(SuccinctTree.from_binary, args=(tree,), rounds=2, iterations=1)

@@ -1,0 +1,31 @@
+"""Deterministic minimal-TDSTA pipeline vs the ASTA engine on path queries.
+
+The Intro's "extreme |Q|-optimization": for predicate-free paths the
+minimal deterministic automaton needs one look-up per relevant node.
+Rows compare it with the optimized ASTA engine on the path-shaped subset
+of Q01-Q15.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import deterministic, optimized
+from repro.xmark.queries import QUERIES
+from repro.xpath.compiler import compile_xpath
+
+PATH_QIDS = ("Q01", "Q02", "Q03", "Q04", "Q05", "Q06", "Q11")
+
+
+@pytest.mark.parametrize("qid", PATH_QIDS)
+def test_deterministic(benchmark, xmark_index, qid):
+    query = QUERIES[qid]
+    deterministic.compile_tdsta(query)  # compile outside the timer
+    _, selected = benchmark(deterministic.evaluate, query, xmark_index)
+    assert selected == optimized.evaluate(compile_xpath(query), xmark_index)[1]
+
+
+@pytest.mark.parametrize("qid", PATH_QIDS)
+def test_asta_optimized(benchmark, xmark_index, qid):
+    asta = compile_xpath(QUERIES[qid])
+    benchmark(optimized.evaluate, asta, xmark_index)

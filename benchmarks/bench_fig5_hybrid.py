@@ -1,0 +1,32 @@
+"""Figure 5: hybrid vs regular evaluation on configurations A-D.
+
+Rows ``test_fig5[<strategy>-<config>]`` reproduce the two bars per
+configuration for //listitem//keyword//emph.  Paper's shape: hybrid wins
+by orders of magnitude on A/B (rare pivot label), behaves like the regular
+run on C, and D is its worst case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import optimized
+from repro.engine.hybrid import hybrid_evaluate
+from repro.xmark.configs import CONFIG_SPECS
+from repro.xmark.queries import HYBRID_QUERY
+from repro.xpath.compiler import compile_xpath
+
+_ASTA = compile_xpath(HYBRID_QUERY)
+
+
+@pytest.mark.parametrize("name", sorted(CONFIG_SPECS))
+def test_fig5_hybrid(benchmark, config_indexes, name):
+    index = config_indexes[name]
+    _, selected = benchmark(hybrid_evaluate, HYBRID_QUERY, index)
+    assert selected == optimized.evaluate(_ASTA, index)[1]
+
+
+@pytest.mark.parametrize("name", sorted(CONFIG_SPECS))
+def test_fig5_regular(benchmark, config_indexes, name):
+    index = config_indexes[name]
+    benchmark(optimized.evaluate, _ASTA, index)

@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the index primitives the engines rely on.
+
+The paper's cost model: dt/ft are O(|L| log n) index look-ups, lt/rt are
+spine-bounded, label counts are O(1).  These rows quantify the constants
+behind every jump the engines perform, on both tree backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.index.succinct import SuccinctTree
+
+
+@pytest.fixture(scope="module")
+def label_ids(xmark_index):
+    return xmark_index.label_ids(["keyword"])
+
+
+def test_dt_jump(benchmark, xmark_index, label_ids):
+    benchmark(xmark_index.dt, 0, label_ids)
+
+
+def test_ft_chain_step(benchmark, xmark_index, label_ids):
+    first = xmark_index.dt(0, label_ids)
+    benchmark(xmark_index.ft, first, label_ids, 0)
+
+
+def test_lt_spine(benchmark, xmark_index, label_ids):
+    benchmark(xmark_index.lt, 0, label_ids)
+
+
+def test_topmost_enumeration(benchmark, xmark_index, label_ids):
+    benchmark(xmark_index.topmost_in_subtree, 0, label_ids)
+
+
+def test_label_count(benchmark, xmark_index):
+    assert benchmark(xmark_index.count, "keyword") > 0
+
+
+def test_pointer_first_child(benchmark, xmark_index):
+    tree = xmark_index.tree
+    benchmark(lambda: tree.left[tree.n // 2])
+
+
+def test_succinct_first_child(benchmark, xmark_index):
+    succ = SuccinctTree.from_binary(xmark_index.tree)
+    v = xmark_index.tree.n // 2
+    benchmark(succ.first_child, v)
+
+
+def test_succinct_parent(benchmark, xmark_index):
+    succ = SuccinctTree.from_binary(xmark_index.tree)
+    v = xmark_index.tree.n // 2
+    benchmark(succ.parent, v)

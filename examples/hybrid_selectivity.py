@@ -1,0 +1,47 @@
+"""Start-anywhere (hybrid) evaluation on the Figure 5 configurations.
+
+Shows how the hybrid planner picks the rarest label as pivot and how many
+nodes each strategy touches on the four hand-crafted documents A-D of the
+paper, for the query //listitem//keyword//emph.
+
+Run:  python examples/hybrid_selectivity.py [fraction]
+"""
+
+import sys
+
+from repro.counters import EvalStats
+from repro.engine import optimized
+from repro.engine.hybrid import hybrid_evaluate, plan_pivot
+from repro.index.jumping import TreeIndex
+from repro.xmark.configs import CONFIG_SPECS, make_config_tree
+from repro.xmark.queries import HYBRID_QUERY
+from repro.xpath.compiler import compile_xpath
+from repro.xpath.parser import parse_xpath
+
+
+def main(fraction: float = 0.1) -> None:
+    path = parse_xpath(HYBRID_QUERY)
+    asta = compile_xpath(path)
+    print(f"query: {HYBRID_QUERY}   (configs at fraction {fraction})")
+    print()
+    header = (f"{'cfg':3s} {'nodes':>8s} {'pivot':>9s} {'answer':>7s} "
+              f"{'visited hybrid':>14s} {'visited regular':>15s}")
+    print(header)
+    print("-" * len(header))
+    for name, spec in CONFIG_SPECS.items():
+        tree = make_config_tree(name, fraction)
+        index = TreeIndex(tree)
+        pivot = path.steps[plan_pivot(path, index)].test
+        s_h, s_r = EvalStats(), EvalStats()
+        _, sel = hybrid_evaluate(path, index, s_h)
+        optimized.evaluate(asta, index, s_r)
+        print(f"{name:3s} {tree.n:8d} {pivot:>9s} {len(sel):7d} "
+              f"{s_h.visited:14d} {s_r.visited:15d}")
+    print()
+    print("A/B: rare pivot -> hybrid touches a handful of nodes.")
+    print("C:   pivot not rare among listitems -> hybrid ~ regular.")
+    print("D:   worst case -- pivot count close to the top label's.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.1)

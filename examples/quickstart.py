@@ -1,0 +1,50 @@
+"""Quickstart: parse a document, run queries, inspect the machinery.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Engine, parse_xml
+
+XML = """
+<library>
+  <shelf id="s1">
+    <book><title/><author/><keyword/></book>
+    <book><title/><keyword><emph/></keyword></book>
+  </shelf>
+  <shelf id="s2">
+    <box><book><title/></book></box>
+  </shelf>
+</library>
+"""
+
+
+def main() -> None:
+    doc = parse_xml(XML)
+    engine = Engine(doc)  # default: the fully optimized engine
+
+    print("== basic queries ==")
+    for query in ("//book", "/library/shelf/book", "//book[keyword]",
+                  "//shelf//book//keyword", "//book[not(author)]"):
+        ids = engine.select(query)
+        print(f"{query:32s} -> {len(ids)} nodes  {ids}")
+
+    print()
+    print("== what the engine did (//shelf//book//keyword) ==")
+    engine.select("//shelf//book//keyword")
+    stats = engine.last_stats
+    print(f"visited {stats.visited} of {len(engine.tree)} nodes, "
+          f"{stats.jumps} index jumps, {stats.memo_entries} memo entries")
+
+    print()
+    print("== the compiled automaton ==")
+    print(engine.explain("//book[keyword]"))
+
+    print()
+    print("== strategies agree ==")
+    for strategy in ("naive", "jumping", "memo", "optimized", "hybrid"):
+        engine.set_strategy(strategy)
+        print(f"{strategy:10s} //book -> {engine.count('//book')} nodes")
+
+
+if __name__ == "__main__":
+    main()

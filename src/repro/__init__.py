@@ -1,0 +1,42 @@
+"""repro -- reproduction of "XPath Whole Query Optimization" (VLDB 2010).
+
+Selecting tree automata, relevant-node jumping, and alternating-automaton
+XPath evaluation over indexed XML trees, in pure Python.
+
+Quickstart::
+
+    from repro import parse_xml, Engine
+
+    doc = parse_xml("<site><a><b/></a></site>")
+    engine = Engine(doc)                  # optimized: jumping + memo + IP
+    ids = engine.select("//a//b")
+    print(engine.labels_of(ids))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.counters import EvalStats
+from repro.engine.api import Engine, evaluate
+from repro.index.jumping import TreeIndex
+from repro.tree.binary import BinaryTree
+from repro.tree.document import XMLDocument, XMLNode
+from repro.tree.parser import parse_xml
+from repro.xpath.compiler import compile_xpath
+from repro.xpath.parser import parse_xpath
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "evaluate",
+    "parse_xml",
+    "parse_xpath",
+    "compile_xpath",
+    "BinaryTree",
+    "TreeIndex",
+    "XMLDocument",
+    "XMLNode",
+    "EvalStats",
+    "__version__",
+]

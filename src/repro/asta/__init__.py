@@ -1,0 +1,35 @@
+"""Alternating selecting tree automata (Section 4, Appendix C).
+
+- :mod:`repro.asta.formula` -- Boolean transition formulas
+  ``φ ::= ⊤ | ⊥ | φ∨φ | φ∧φ | ¬φ | ↓1 q | ↓2 q``,
+- :mod:`repro.asta.automaton` -- the ASTA structure (Definition 4.1),
+- :mod:`repro.asta.semantics` -- the Figure 7 evaluation rules
+  (``eval_trans``, result sets, node selection),
+- :mod:`repro.asta.tda` -- the top-down approximation (Definition 4.2)
+  with the per-state-set jump analysis, computed on the fly.
+"""
+
+from repro.asta.automaton import ASTA, ASTATransition
+from repro.asta.formula import (
+    FALSE,
+    TRUE,
+    down,
+    down_states,
+    fand,
+    fnot,
+    for_,
+    formula_str,
+)
+
+__all__ = [
+    "ASTA",
+    "ASTATransition",
+    "TRUE",
+    "FALSE",
+    "fand",
+    "for_",
+    "fnot",
+    "down",
+    "down_states",
+    "formula_str",
+]

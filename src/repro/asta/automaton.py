@@ -1,0 +1,136 @@
+"""Alternating selecting tree automata (Definition 4.1).
+
+An ASTA is ``(Σ, Q, T, δ)`` where transitions are
+``(q, L, τ, φ)`` with ``τ ∈ {→, ⇒}`` (⇒ selects the node) and ``φ`` a
+Boolean formula over ↓1/↓2 state atoms.  Σ stays implicit through
+finite/co-finite :class:`~repro.automata.labelset.LabelSet` values, exactly
+as for STAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.asta.formula import Formula, down_states, formula_str
+from repro.automata.labelset import LabelSet
+
+State = str
+
+
+@dataclass(frozen=True)
+class ASTATransition:
+    """One rule ``q, L τ φ``; ``selecting`` encodes τ = ⇒."""
+
+    q: State
+    labels: LabelSet
+    selecting: bool
+    formula: Formula
+
+    def __repr__(self) -> str:
+        arrow = "⇒" if self.selecting else "→"
+        return f"{self.q}, {self.labels} {arrow} {formula_str(self.formula)}"
+
+
+class ASTA:
+    """An alternating selecting tree automaton."""
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        top: Iterable[State],
+        transitions: Sequence[ASTATransition],
+    ) -> None:
+        self.states: Tuple[State, ...] = tuple(dict.fromkeys(states))
+        self.top: FrozenSet[State] = frozenset(top)
+        self.transitions: Tuple[ASTATransition, ...] = tuple(transitions)
+        known = set(self.states)
+        for q in self.top:
+            if q not in known:
+                raise ValueError(f"unknown top state {q!r}")
+        for t in self.transitions:
+            if t.q not in known:
+                raise ValueError(f"unknown source state in {t}")
+            for _i, q in down_states(t.formula):
+                if q not in known:
+                    raise ValueError(f"unknown down state {q!r} in {t}")
+        self._by_state: Dict[State, List[ASTATransition]] = {}
+        for t in self.transitions:
+            self._by_state.setdefault(t.q, []).append(t)
+        self._marking = self._marking_states()
+
+    def transitions_of(self, q: State) -> List[ASTATransition]:
+        """All rules with source ``q`` (any label)."""
+        return self._by_state.get(q, [])
+
+    def active(self, states: Iterable[State], label: str) -> List[ASTATransition]:
+        """Line 3 of Algorithm 4.1: rules enabled at this node.
+
+        This is the O(|δ|) scan whose cost the memoization technique
+        amortizes.
+        """
+        out = []
+        for q in states:
+            for t in self._by_state.get(q, ()):
+                if t.labels.contains(label):
+                    out.append(t)
+        return out
+
+    # -- analyses ------------------------------------------------------------
+
+    def _marking_states(self) -> FrozenSet[State]:
+        """States from which a selecting (⇒) transition is reachable.
+
+        Non-marking states always carry empty result sets; information
+        propagation may prune them once their truth is decided.
+        """
+        marking: Set[State] = {t.q for t in self.transitions if t.selecting}
+        changed = True
+        while changed:
+            changed = False
+            for t in self.transitions:
+                if t.q in marking:
+                    continue
+                if any(q in marking for _i, q in down_states(t.formula)):
+                    marking.add(t.q)
+                    changed = True
+        return frozenset(marking)
+
+    def is_marking(self, q: State) -> bool:
+        return q in self._marking
+
+    def alphabet_sample(self) -> Tuple[str, ...]:
+        """Mentioned names plus a fresh witness (cf. STA.alphabet_sample)."""
+        names: Set[str] = set()
+        for t in self.transitions:
+            names |= t.labels.mentioned()
+        other = "†other"
+        while other in names:
+            other += "'"
+        return tuple(sorted(names)) + (other,)
+
+    def atoms(self) -> List[Tuple[str, LabelSet]]:
+        """Label atoms: each mentioned name plus the co-finite rest."""
+        sample = self.alphabet_sample()
+        names, other = sample[:-1], sample[-1]
+        out: List[Tuple[str, LabelSet]] = [(n, LabelSet.of(n)) for n in names]
+        out.append((other, LabelSet.not_of(*names)))
+        return out
+
+    def atom_rep(self, label: str) -> str:
+        """Representative of the atom containing ``label``."""
+        sample = self.alphabet_sample()
+        return label if label in sample[:-1] else sample[-1]
+
+    def size(self) -> Tuple[int, int]:
+        """(|Q|, |δ|) -- e.g. for the Example C.1 blow-up demonstration."""
+        return len(self.states), len(self.transitions)
+
+    def describe(self) -> str:
+        """Human-readable listing (used by the automata-explorer example)."""
+        lines = [f"ASTA: Q = {{{', '.join(self.states)}}}, T = {{{', '.join(sorted(self.top))}}}"]
+        lines.extend(f"  {t!r}" for t in self.transitions)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"ASTA(|Q|={len(self.states)}, |δ|={len(self.transitions)})"

@@ -1,0 +1,188 @@
+"""Transition formulas of ASTAs (Definition 4.1).
+
+``φ ::= ⊤ | ⊥ | φ ∨ φ | φ ∧ φ | ¬φ | ↓1 q | ↓2 q``
+
+Formulas are plain nested tuples (hashable, cheap to build and compare):
+
+- ``("T",)`` / ``("F",)``                 -- ⊤ / ⊥,
+- ``("&", f, g)`` / ``("|", f, g)``        -- conjunction / disjunction,
+- ``("!", f)``                            -- negation,
+- ``("d", i, q)``                          -- ↓i q  (i ∈ {1, 2}).
+
+Besides constructors, this module provides the syntactic analyses used by
+evaluation and the jump machinery: the down-state sets per side, the
+two-valued closed evaluation (for the skip-safety check φ(∅,∅) = ⊥) and
+the three-valued partial evaluation used by information propagation.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set, Tuple
+
+Formula = tuple
+
+TRUE: Formula = ("T",)
+FALSE: Formula = ("F",)
+
+
+def down(i: int, q: str) -> Formula:
+    """The atom ↓i q."""
+    if i not in (1, 2):
+        raise ValueError("child index must be 1 or 2")
+    return ("d", i, q)
+
+
+def fand(*fs: Formula) -> Formula:
+    """Right-nested conjunction with unit/absorption simplification."""
+    acc = TRUE
+    for f in reversed(fs):
+        if f == FALSE or acc == FALSE:
+            return FALSE
+        if f == TRUE:
+            continue
+        acc = f if acc == TRUE else ("&", f, acc)
+    return acc
+
+
+def for_(*fs: Formula) -> Formula:
+    """Right-nested disjunction with unit/absorption simplification."""
+    acc = FALSE
+    for f in reversed(fs):
+        if f == TRUE or acc == TRUE:
+            return TRUE
+        if f == FALSE:
+            continue
+        acc = f if acc == FALSE else ("|", f, acc)
+    return acc
+
+
+def fnot(f: Formula) -> Formula:
+    if f == TRUE:
+        return FALSE
+    if f == FALSE:
+        return TRUE
+    if f[0] == "!":
+        return f[1]
+    return ("!", f)
+
+
+def down_states(f: Formula, side: int | None = None) -> FrozenSet[Tuple[int, str]]:
+    """All ↓i q atoms occurring in ``f`` (including under negation).
+
+    With ``side`` given, returns only the states of that side.
+    """
+    out: Set[Tuple[int, str]] = set()
+    stack = [f]
+    while stack:
+        g = stack.pop()
+        tag = g[0]
+        if tag == "d":
+            out.add((g[1], g[2]))
+        elif tag in ("&", "|"):
+            stack.append(g[1])
+            stack.append(g[2])
+        elif tag == "!":
+            stack.append(g[1])
+    if side is not None:
+        return frozenset(q for i, q in out if i == side)
+    return frozenset(out)  # type: ignore[return-value]
+
+
+def eval_closed(f: Formula, acc1: FrozenSet[str], acc2: FrozenSet[str]) -> bool:
+    """Two-valued truth of ``f`` given the accepted state sets of both children."""
+    tag = f[0]
+    if tag == "T":
+        return True
+    if tag == "F":
+        return False
+    if tag == "d":
+        return f[2] in (acc1 if f[1] == 1 else acc2)
+    if tag == "!":
+        return not eval_closed(f[1], acc1, acc2)
+    if tag == "&":
+        return eval_closed(f[1], acc1, acc2) and eval_closed(f[2], acc1, acc2)
+    return eval_closed(f[1], acc1, acc2) or eval_closed(f[2], acc1, acc2)
+
+
+def accepts_spontaneously(f: Formula) -> bool:
+    """φ(∅, ∅): truth with no child accepting anything.
+
+    A transition whose formula is spontaneously true makes its label
+    *essential* for the jump analysis: a skipped region could otherwise
+    silently accept (see :mod:`repro.asta.tda`).
+    """
+    return eval_closed(f, frozenset(), frozenset())
+
+
+# -- three-valued partial evaluation (information propagation) ----------------
+
+_T, _F, _U = 1, 0, -1
+
+
+def partial_eval(f: Formula, acc1: FrozenSet[str]) -> int:
+    """Kleene truth of ``f`` with child 1 known and child 2 unknown."""
+    tag = f[0]
+    if tag == "T":
+        return _T
+    if tag == "F":
+        return _F
+    if tag == "d":
+        if f[1] == 1:
+            return _T if f[2] in acc1 else _F
+        return _U
+    if tag == "!":
+        v = partial_eval(f[1], acc1)
+        return _U if v == _U else (1 - v)
+    a = partial_eval(f[1], acc1)
+    b = partial_eval(f[2], acc1)
+    if tag == "&":
+        if a == _F or b == _F:
+            return _F
+        if a == _T and b == _T:
+            return _T
+        return _U
+    if a == _T or b == _T:
+        return _T
+    if a == _F and b == _F:
+        return _F
+    return _U
+
+
+def pending_down2(f: Formula, acc1: FrozenSet[str]) -> FrozenSet[str]:
+    """↓2 states of ``f`` that can still influence its truth given ``acc1``.
+
+    Branches whose truth is already decided are not walked into; this is
+    what lets the information-propagation optimization narrow ``r2``.
+    """
+    out: Set[str] = set()
+    _pending(f, acc1, out)
+    return frozenset(out)
+
+
+def _pending(f: Formula, acc1: FrozenSet[str], out: Set[str]) -> None:
+    if partial_eval(f, acc1) != _U:
+        return
+    tag = f[0]
+    if tag == "d":
+        if f[1] == 2:
+            out.add(f[2])
+    elif tag == "!":
+        _pending(f[1], acc1, out)
+    elif tag in ("&", "|"):
+        _pending(f[1], acc1, out)
+        _pending(f[2], acc1, out)
+
+
+def formula_str(f: Formula) -> str:
+    """Pretty-print with the paper's notation."""
+    tag = f[0]
+    if tag == "T":
+        return "⊤"
+    if tag == "F":
+        return "⊥"
+    if tag == "d":
+        return f"↓{f[1]} {f[2]}"
+    if tag == "!":
+        return f"¬({formula_str(f[1])})"
+    op = " ∧ " if tag == "&" else " ∨ "
+    return f"({formula_str(f[1])}{op}{formula_str(f[2])})"

@@ -1,0 +1,16 @@
+"""Selecting tree automata (Sections 2-3, Appendices A-B).
+
+- :mod:`repro.automata.labelset` -- finite / co-finite label sets,
+- :mod:`repro.automata.sta` -- STAs, runs, acceptance and selection oracles,
+- :mod:`repro.automata.examples` -- the paper's worked automata,
+- :mod:`repro.automata.recognizer` -- the hat-encoding STA <-> TA,
+- :mod:`repro.automata.minimize` -- minimization and equivalence,
+- :mod:`repro.automata.relevance` -- relevant nodes (Def. 3.1, Lemmas 3.1/3.2),
+- :mod:`repro.automata.topdown` -- topdown_jump (Algorithm B.1),
+- :mod:`repro.automata.bottomup` -- bottom_up evaluation (Algorithm B.2).
+"""
+
+from repro.automata.labelset import ANY, LabelSet
+from repro.automata.sta import STA, Transition
+
+__all__ = ["ANY", "LabelSet", "STA", "Transition"]

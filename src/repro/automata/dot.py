@@ -1,0 +1,70 @@
+"""Graphviz (dot) export of automata, for inspection and documentation.
+
+``python - <<'PY'`` one-liner friendly::
+
+    from repro.automata.dot import asta_to_dot
+    from repro.xpath.compiler import compile_xpath
+    print(asta_to_dot(compile_xpath("//a//b[c]")))
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.asta.automaton import ASTA
+from repro.asta.formula import formula_str
+from repro.automata.sta import STA
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def sta_to_dot(sta: STA, name: str = "STA") -> str:
+    """Dot digraph of an STA: one edge per transition, labelled
+    ``L / side`` (1 = left child, 2 = right child)."""
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=LR;"]
+    for q in sta.states:
+        shape = "doublecircle" if q in sta.top else "circle"
+        style = []
+        if q in sta.bottom:
+            style.append("bold")
+        if q in sta.selecting:
+            style.append("filled")
+        attr = f', style="{",".join(style)}"' if style else ""
+        lines.append(f"  {_quote(q)} [shape={shape}{attr}];")
+    for t in sta.transitions:
+        label = repr(t.labels)
+        lines.append(
+            f"  {_quote(t.q)} -> {_quote(t.q1)} "
+            f"[label={_quote(label + ' /1')}];"
+        )
+        lines.append(
+            f"  {_quote(t.q)} -> {_quote(t.q2)} "
+            f"[label={_quote(label + ' /2')}, style=dashed];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def asta_to_dot(asta: ASTA, name: str = "ASTA") -> str:
+    """Dot digraph of an ASTA: transition boxes carry the formulas."""
+    lines: List[str] = [f"digraph {name} {{", "  rankdir=LR;"]
+    for q in asta.states:
+        shape = "doublecircle" if q in asta.top else "circle"
+        lines.append(f"  {_quote(q)} [shape={shape}];")
+    for i, t in enumerate(asta.transitions):
+        box = f"t{i}"
+        arrow = "⇒" if t.selecting else "→"
+        label = f"{t.labels!r} {arrow} {formula_str(t.formula)}"
+        lines.append(f"  {box} [shape=box, label={_quote(label)}];")
+        lines.append(f"  {_quote(t.q)} -> {box};")
+        from repro.asta.formula import down_states
+
+        for side, q2 in sorted(down_states(t.formula)):
+            style = "solid" if side == 1 else "dashed"
+            lines.append(
+                f"  {box} -> {_quote(q2)} [style={style}, label={_quote(f'↓{side}')}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

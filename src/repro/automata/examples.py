@@ -1,0 +1,83 @@
+"""The paper's worked example automata, verbatim.
+
+These are used throughout the test suite as ground truth:
+
+- :func:`sta_desc_a_desc_b` -- Example 2.1, the TDSTA for ``//a//b``,
+- :func:`sta_a_with_b_below` -- Examples A.1/B.1, the BDSTA for ``//a[.//b]``,
+- :func:`sta_dtd_root_a` -- Section 3's recognizer for
+  ``<!ELEMENT a ANY>`` (root labelled ``a``, anything below).
+"""
+
+from __future__ import annotations
+
+from repro.automata.labelset import ANY, LabelSet
+from repro.automata.sta import STA, Transition
+
+
+def sta_desc_a_desc_b() -> STA:
+    """Example 2.1: the TDSTA selecting all b-descendants of a-nodes.
+
+    δ: q0,{a} -> (q1,q0);  q0,Σ\\{a} -> (q0,q0);
+       q1,{b} => (q1,q1);  q1,Σ\\{b} -> (q1,q1).
+    """
+    return STA(
+        states=["q0", "q1"],
+        top=["q0"],
+        bottom=["q0", "q1"],
+        selecting={"q1": LabelSet.of("b")},
+        transitions=[
+            Transition("q0", LabelSet.of("a"), "q1", "q0"),
+            Transition("q0", LabelSet.not_of("a"), "q0", "q0"),
+            Transition("q1", LabelSet.of("b"), "q1", "q1"),
+            Transition("q1", LabelSet.not_of("b"), "q1", "q1"),
+        ],
+    )
+
+
+def sta_a_with_b_below() -> STA:
+    """Examples A.1/B.1: the BDSTA for ``//a[.//b]``.
+
+    Bottom-up reading (q <- L, (q_left, q_right), right child ignored):
+    state q1 at v means "the XML subtree of v contains a b-node"; a-nodes
+    reached in q1 are selected.  Wildcards of the paper are expanded over Q.
+    """
+    transitions = []
+    for right in ("q0", "q1"):
+        # b-labelled node: contains b, whatever is below.
+        for left in ("q0", "q1"):
+            transitions.append(
+                Transition("q1", LabelSet.of("b"), left, right)
+            )
+        # non-b node: propagate the left (= XML descendants) verdict.
+        transitions.append(
+            Transition("q0", LabelSet.not_of("b"), "q0", right)
+        )
+        transitions.append(
+            Transition("q1", LabelSet.not_of("b"), "q1", right)
+        )
+    return STA(
+        states=["q0", "q1"],
+        top=["q0", "q1"],
+        bottom=["q0"],
+        selecting={"q1": LabelSet.of("a")},
+        transitions=transitions,
+    )
+
+
+def sta_dtd_root_a() -> STA:
+    """Section 3's recognizer for the DTD ``<!ELEMENT a ANY>``.
+
+    Only the root is relevant: the automaton changes state exactly once.
+    """
+    return STA(
+        states=["q0", "qT", "qS"],
+        top=["q0"],
+        bottom=["qT"],
+        selecting={},
+        transitions=[
+            Transition("q0", LabelSet.of("a"), "qT", "qT"),
+            Transition("q0", LabelSet.not_of("a"), "qS", "qS"),
+            Transition("qT", ANY, "qT", "qT"),
+            Transition("qS", ANY, "qS", "qS"),
+        ],
+    )

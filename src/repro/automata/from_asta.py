@@ -1,0 +1,196 @@
+"""Alternation elimination: ASTA -> (non-deterministic) STA.
+
+Section 4.1 motivates ASTAs by the cost of *not* having them: translating
+an ASTA into a plain selecting tree automaton requires the disjunctive
+normal form of its formulas, and Example C.1 exhibits a family
+``//x[(a1 or a2) and ... and (a2n-1 or a2n)]`` whose ASTA is linear while
+any STA is exponential.  This module implements the translation so the
+blow-up (and the semantic equivalence) can be tested, and so the
+deterministic machinery of Section 3 (minimization, relevant nodes,
+``topdown_jump``) can be applied to simple compiled queries.
+
+Construction
+------------
+STA states are *obligation sets* ``S`` of ASTA states ("every q ∈ S must
+accept here"), plus a selecting twin ``sel(S)`` whose transitions are
+restricted to combinations that fire a ⇒ rule -- this encodes the
+choice-dependent selection of ASTAs in the STA's (state, label) selection
+relation.  A transition from ``S`` on an atom combines, per ``q ∈ S``,
+one enabled rule and one DNF disjunct of its formula; the disjunct
+requirements union into the child obligation sets.  The empty obligation
+set is the top-down universal state and the only bottom state
+(``# `` satisfies no ↓ obligation).
+
+Negation is not supported (obligation sets are purely conjunctive);
+the compiler only emits ``¬`` for XPath ``not()``, so every
+negation-free query is translatable.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.asta.automaton import ASTA
+from repro.asta.formula import Formula
+from repro.automata.labelset import LabelSet
+from repro.automata.sta import STA, Transition
+
+Obligation = FrozenSet[str]
+_Disjunct = Tuple[FrozenSet[str], FrozenSet[str]]  # (left states, right states)
+
+
+class AlternationError(ValueError):
+    """Raised for formulas outside the translatable (negation-free) core."""
+
+
+def formula_dnf(f: Formula) -> List[_Disjunct]:
+    """DNF of a negation-free formula as (↓1-set, ↓2-set) disjuncts.
+
+    The length of this list is the paper's blow-up measure: for the
+    Example C.1 selecting formula it is 2^n.
+    """
+    tag = f[0]
+    if tag == "T":
+        return [(frozenset(), frozenset())]
+    if tag == "F":
+        return []
+    if tag == "d":
+        if f[1] == 1:
+            return [(frozenset({f[2]}), frozenset())]
+        return [(frozenset(), frozenset({f[2]}))]
+    if tag == "!":
+        raise AlternationError("negation cannot be translated to an STA")
+    left = formula_dnf(f[1])
+    right = formula_dnf(f[2])
+    if tag == "|":
+        return left + right
+    # conjunction: pairwise union of disjuncts
+    return [
+        (l1 | l2, r1 | r2) for (l1, r1) in left for (l2, r2) in right
+    ]
+
+
+def _enc(obligation: Obligation, selecting: bool) -> str:
+    inner = ",".join(sorted(obligation)) or "∅"
+    return ("sel{" if selecting else "{") + inner + "}"
+
+
+def asta_to_sta(asta: ASTA, max_states: int = 4096) -> STA:
+    """Translate a negation-free ASTA into an equivalent STA.
+
+    ``max_states`` bounds the lazy subset construction (the translation
+    is inherently exponential; Example C.1 hits the bound quickly).
+    """
+    atoms = asta.atoms()
+    empty: Obligation = frozenset()
+
+    states: Set[Tuple[Obligation, bool]] = set()
+    transitions: List[Transition] = []
+    selecting: Dict[str, LabelSet] = {}
+
+    # Per (q, atom rep): list of (selects, disjuncts) over enabled rules.
+    def options(q: str, rep: str) -> List[Tuple[bool, _Disjunct]]:
+        out: List[Tuple[bool, _Disjunct]] = []
+        for t in asta.transitions_of(q):
+            if not t.labels.contains(rep):
+                continue
+            for disjunct in formula_dnf(t.formula):
+                out.append((t.selecting, disjunct))
+        return out
+
+    frontier: List[Tuple[Obligation, bool]] = []
+
+    def visit(obligation: Obligation, sel: bool) -> str:
+        key = (obligation, sel)
+        if key not in states:
+            if len(states) >= max_states:
+                raise AlternationError(
+                    f"subset construction exceeded {max_states} states"
+                )
+            states.add(key)
+            frontier.append(key)
+        return _enc(obligation, sel)
+
+    top_names = [visit(frozenset({q}), False) for q in sorted(asta.top)]
+    top_names += [visit(frozenset({q}), True) for q in sorted(asta.top)]
+    visit(empty, False)
+
+    while frontier:
+        obligation, sel = frontier.pop()
+        name = _enc(obligation, sel)
+        if not obligation:
+            transitions.append(
+                Transition(name, LabelSet.not_of(), name, name)
+            )
+            continue
+        for rep, atom in atoms:
+            per_state = [options(q, rep) for q in sorted(obligation)]
+            if any(not opts for opts in per_state):
+                continue  # some obligation unsatisfiable at this label
+            seen_pairs: Set[Tuple[Obligation, Obligation, bool]] = set()
+            for combo in product(*per_state):
+                fires = any(s for s, _ in combo)
+                if sel and not fires:
+                    continue  # the selecting twin must actually select
+                s1: FrozenSet[str] = frozenset().union(
+                    *(d[0] for _, d in combo)
+                )
+                s2: FrozenSet[str] = frozenset().union(
+                    *(d[1] for _, d in combo)
+                )
+                if (s1, s2, fires) in seen_pairs:
+                    continue
+                seen_pairs.add((s1, s2, fires))
+                # Children may independently choose to select deeper
+                # nodes: emit both plain and selecting-twin successors
+                # for non-empty obligations (the twin is reachable only
+                # if it can select below, pruned lazily via options()).
+                child_variants_1 = _child_variants(asta, s1)
+                child_variants_2 = _child_variants(asta, s2)
+                for c1 in child_variants_1:
+                    for c2 in child_variants_2:
+                        transitions.append(
+                            Transition(
+                                name,
+                                atom,
+                                visit(s1, c1),
+                                visit(s2, c2),
+                            )
+                        )
+            if sel:
+                prev = selecting.get(name, LabelSet.empty())
+                has_marking_combo = any(
+                    any(s for s, _ in combo)
+                    for combo in product(*per_state)
+                )
+                if has_marking_combo:
+                    selecting[name] = prev.union(atom)
+
+    all_names = [_enc(o, s) for o, s in sorted(states, key=lambda k: (_enc(*k)))]
+    return STA(
+        all_names,
+        top_names,
+        [_enc(empty, False)],
+        selecting,
+        transitions,
+    )
+
+
+def _child_variants(asta: ASTA, obligation: Obligation) -> Sequence[bool]:
+    """Which twins to emit for a child obligation set.
+
+    The selecting twin only makes sense when some obligation can reach a
+    ⇒ rule (is marking); the empty set never selects.
+    """
+    if not obligation:
+        return (False,)
+    if any(asta.is_marking(q) for q in obligation):
+        return (False, True)
+    return (False,)
+
+
+def sta_blowup_size(asta: ASTA) -> Tuple[int, int]:
+    """(#states, #transitions) of the translated STA (for Example C.1)."""
+    sta = asta_to_sta(asta)
+    return len(sta.states), len(sta.transitions)

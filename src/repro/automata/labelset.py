@@ -1,0 +1,131 @@
+"""Finite / co-finite label sets (the ``L`` of transitions).
+
+The paper writes transitions over sets like ``{a}`` and ``Σ \\ {a}``
+without ever materializing the alphabet.  :class:`LabelSet` mirrors this: a
+value is either a finite set of names or the complement of one.  All the
+Boolean operations needed by minimization and the essential-label analysis
+are closed over this representation.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator
+
+
+class LabelSet:
+    """An immutable finite or co-finite set of element names."""
+
+    __slots__ = ("names", "complemented")
+
+    def __init__(self, names: Iterable[str], complemented: bool = False) -> None:
+        self.names: FrozenSet[str] = frozenset(names)
+        self.complemented = complemented
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def of(cls, *names: str) -> "LabelSet":
+        """Finite set ``{names...}``."""
+        return cls(names)
+
+    @classmethod
+    def not_of(cls, *names: str) -> "LabelSet":
+        """Co-finite set ``Σ \\ {names...}``."""
+        return cls(names, complemented=True)
+
+    @classmethod
+    def empty(cls) -> "LabelSet":
+        return cls(())
+
+    # -- queries --------------------------------------------------------------
+
+    def contains(self, label: str) -> bool:
+        inside = label in self.names
+        return (not inside) if self.complemented else inside
+
+    __contains__ = contains
+
+    def is_empty(self) -> bool:
+        return not self.complemented and not self.names
+
+    def is_any(self) -> bool:
+        return self.complemented and not self.names
+
+    def is_finite(self) -> bool:
+        return not self.complemented
+
+    def mentioned(self) -> FrozenSet[str]:
+        """The names this set's description textually mentions."""
+        return self.names
+
+    # -- algebra ---------------------------------------------------------------
+
+    def complement(self) -> "LabelSet":
+        return LabelSet(self.names, not self.complemented)
+
+    def union(self, other: "LabelSet") -> "LabelSet":
+        if not self.complemented and not other.complemented:
+            return LabelSet(self.names | other.names)
+        if self.complemented and other.complemented:
+            return LabelSet(self.names & other.names, complemented=True)
+        fin, cof = (self, other) if other.complemented else (other, self)
+        return LabelSet(cof.names - fin.names, complemented=True)
+
+    def intersection(self, other: "LabelSet") -> "LabelSet":
+        return self.union_complements(other)
+
+    def union_complements(self, other: "LabelSet") -> "LabelSet":
+        # De Morgan: A ∩ B = ¬(¬A ∪ ¬B)
+        return self.complement().union(other.complement()).complement()
+
+    def difference(self, other: "LabelSet") -> "LabelSet":
+        return self.intersection(other.complement())
+
+    def overlaps(self, other: "LabelSet") -> bool:
+        return not self.intersection(other).is_empty()
+
+    # -- evaluation-time compilation ---------------------------------------------
+
+    def positive_ids(self, tree) -> list[int] | None:
+        """Label ids of a *finite* set within ``tree``; None if co-finite.
+
+        Jump primitives cost O(|L|), so co-finite sets cannot be jumped to
+        (the paper's "no jump is possible" case); callers must fall back to
+        firstChild/nextSibling when this returns None.
+        """
+        if self.complemented:
+            return None
+        ids = []
+        for name in self.names:
+            lab = tree.label_ids.get(name)
+            if lab is not None:
+                ids.append(lab)
+        return ids
+
+    # -- dunder ---------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, LabelSet)
+            and self.names == other.names
+            and self.complemented == other.complemented
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.names, self.complemented))
+
+    def __repr__(self) -> str:
+        inner = ",".join(sorted(self.names))
+        if self.complemented:
+            return f"Σ\\{{{inner}}}" if inner else "Σ"
+        return f"{{{inner}}}"
+
+    def sample_labels(self, alphabet: Iterable[str]) -> Iterator[str]:
+        """Labels of ``alphabet`` belonging to this set."""
+        for label in alphabet:
+            if self.contains(label):
+                yield label
+
+
+ANY = LabelSet.not_of()
+"""The full alphabet Σ."""

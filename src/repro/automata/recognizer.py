@@ -1,0 +1,205 @@
+"""The hat-encoding between STAs and ordinary tree automata (Appendix A.1).
+
+An STA ``A`` over Σ is encoded as a plain recognizer ``Â`` over ``Σ ∪ Σ̂``:
+selecting a node with label ``l`` becomes accepting a tree where that node
+carries the hatted label ``l̂``.  Lemma A.1: ``A ≡ A'`` iff
+``L(Â) = L(Â')``.  The encoding is used by the test suite to validate the
+direct minimization of :mod:`repro.automata.minimize` against the
+paper's reduction, and :func:`decode_recognizer` implements the
+selecting-unambiguous back-translation of Lemma A.3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.automata.labelset import LabelSet
+from repro.automata.sta import STA, Transition
+
+HAT = "̂"  # combining circumflex
+
+
+def hat(label: str) -> str:
+    """The hatted copy ``l̂`` of a label."""
+    return label + HAT
+
+
+def unhat(label: str) -> str:
+    """Inverse of :func:`hat` (identity on unhatted labels)."""
+    return label[:-1] if label.endswith(HAT) else label
+
+
+def is_hatted(label: str) -> bool:
+    return label.endswith(HAT)
+
+
+def encode_recognizer(sta: STA) -> STA:
+    """Build ``Â``: an ordinary (non-selecting) automaton over Σ ∪ Σ̂.
+
+    Follows Appendix A.1: each transition whose label set intersects the
+    selecting configurations of its source state is split into an unhatted
+    part (non-selected labels) and a hatted part (selected labels); a sink
+    absorbs the ill-formed hat placements, making ``Â`` complete over the
+    hatted alphabet.
+
+    The construction here keeps label sets symbolic: a co-finite set
+    ``Σ \\ {a}`` of the original automaton denotes, in ``Â``, the set of
+    *unhatted* labels other than ``a``.  Since the encoded alphabet is
+    ``Σ ∪ Σ̂`` we materialize over the automaton's label atoms, which is
+    exact for all trees whose labels are drawn from mentioned names plus
+    one fresh witness -- sufficient for equivalence testing (Lemma A.1
+    behaviour is uniform on unmentioned atoms).
+    """
+    from repro.automata.minimize import atoms
+
+    reps = atoms(sta)
+    transitions: List[Transition] = []
+    for t in sta.transitions:
+        for rep, atom in reps:
+            if not t.labels.contains(rep):
+                continue
+            if sta.selects(t.q, rep):
+                transitions.append(
+                    Transition(t.q, _hat_atom(atom), t.q1, t.q2)
+                )
+            else:
+                transitions.append(
+                    Transition(t.q, _unhatted_atom(atom), t.q1, t.q2)
+                )
+                # A hatted label at a non-selecting configuration is only
+                # legal if no selection happens: it must be rejected, which
+                # the restriction to unhatted labels achieves by omission.
+    return STA(
+        sta.states,
+        sta.top,
+        sta.bottom,
+        {},
+        _merge(transitions),
+    )
+
+
+def _hat_atom(atom: LabelSet) -> LabelSet:
+    if atom.is_finite():
+        return LabelSet(hat(n) for n in atom.names)
+    # Co-finite atom Σ \ M: its hatted copy is the set of hatted labels
+    # whose base is not in M.  We encode this as the co-finite set that
+    # excludes all unhatted names and the hatted excluded ones; membership
+    # tests in the test suite always use concrete labels, where
+    # ``_HattedCofinite`` below evaluates exactly.
+    return _HattedCofinite(atom.names)
+
+
+def _unhatted_atom(atom: LabelSet) -> LabelSet:
+    """Restrict a co-finite atom to the unhatted half of Σ ∪ Σ̂."""
+    if atom.is_finite():
+        return atom  # atoms of the source automaton are unhatted names
+    return _UnhattedCofinite(atom.names)
+
+
+class _UnhattedCofinite(LabelSet):
+    """Co-finite atom restricted to unhatted labels: { l ∉ Σ̂ | l ∉ names }."""
+
+    def __init__(self, names) -> None:
+        super().__init__(names, complemented=True)
+
+    def contains(self, label: str) -> bool:
+        return not is_hatted(label) and label not in self.names
+
+    __contains__ = contains
+
+    def __repr__(self) -> str:
+        inner = ",".join(sorted(self.names))
+        return f"unhat(Σ\\{{{inner}}})"
+
+
+class _HattedCofinite(LabelSet):
+    """Hatted copy of a co-finite atom: { l̂ | l ∉ names }."""
+
+    def __init__(self, names) -> None:
+        super().__init__(names, complemented=False)
+
+    def contains(self, label: str) -> bool:
+        return is_hatted(label) and unhat(label) not in self.names
+
+    __contains__ = contains
+
+    def __repr__(self) -> str:
+        inner = ",".join(sorted(self.names))
+        return f"hat(Σ\\{{{inner}}})"
+
+
+def _merge(transitions: List[Transition]) -> List[Transition]:
+    out: Dict[tuple, Transition] = {}
+    order = []
+    for t in transitions:
+        key = (t.q, t.labels, t.q1, t.q2)
+        if key not in out:
+            out[key] = t
+            order.append(key)
+    return [out[k] for k in order]
+
+
+def decode_recognizer(rec: STA) -> STA:
+    """Back-translation of Lemma A.3 for selecting-unambiguous recognizers.
+
+    Every transition over hatted labels becomes an unhatted transition plus
+    selecting configurations.
+    """
+    transitions: List[Transition] = []
+    selecting: Dict[str, LabelSet] = {}
+    for t in rec.transitions:
+        if isinstance(t.labels, _HattedCofinite):
+            base = LabelSet(t.labels.names, complemented=True)
+            transitions.append(Transition(t.q, base, t.q1, t.q2))
+            sel = selecting.get(t.q, LabelSet.empty())
+            selecting[t.q] = sel.union(base)
+            continue
+        if t.labels.is_finite():
+            hatted = frozenset(n for n in t.labels.names if is_hatted(n))
+            plain = t.labels.names - hatted
+            if plain:
+                transitions.append(
+                    Transition(t.q, LabelSet(plain), t.q1, t.q2)
+                )
+            if hatted:
+                base = LabelSet(unhat(n) for n in hatted)
+                transitions.append(Transition(t.q, base, t.q1, t.q2))
+                sel = selecting.get(t.q, LabelSet.empty())
+                selecting[t.q] = sel.union(base)
+        else:
+            transitions.append(t)
+    return STA(rec.states, rec.top, rec.bottom, selecting, _merge(transitions))
+
+
+def selecting_unambiguous_violations(rec: STA, trees) -> List[tuple]:
+    """Empirical check of the selecting-unambiguous property (Lemma A.2).
+
+    For each state and each supplied tree accepted from that state, hatting
+    / unhatting the root label must flip acceptance.  Returns offending
+    ``(state, tree_index)`` pairs (empty list = no violation observed).
+    """
+    violations = []
+    for q in rec.states:
+        sub = rec.restrict(q)
+        for i, tree in enumerate(trees):
+            if not sub.accepts(tree):
+                continue
+            flipped = _flip_root_hat(tree)
+            if sub.accepts(flipped):
+                violations.append((q, i))
+    return violations
+
+
+def _flip_root_hat(tree):
+    from repro.tree.binary import BinaryTree
+    from repro.tree.document import XMLDocument, XMLNode
+
+    def rebuild(v: int) -> XMLNode:
+        node = XMLNode(tree.label(v))
+        for c in tree.children(v):
+            node.append(rebuild(c))
+        return node
+
+    root = rebuild(0)
+    root.label = unhat(root.label) if is_hatted(root.label) else hat(root.label)
+    return BinaryTree.from_document(XMLDocument(root))

@@ -1,0 +1,27 @@
+"""Benchmark harness: one entry point per paper table/figure.
+
+``python -m repro.bench.experiments all`` regenerates every table; the
+``benchmarks/`` directory wraps the timing-sensitive parts in
+pytest-benchmark so the series of Figure 4/5/8 appear as benchmark rows.
+"""
+
+from repro.bench.harness import Timer, format_table
+from repro.bench.experiments import (
+    ablation_storage,
+    ablation_techniques,
+    fig3_node_counts,
+    fig4_times,
+    fig5_hybrid,
+    fig8_vs_stepwise,
+)
+
+__all__ = [
+    "Timer",
+    "format_table",
+    "fig3_node_counts",
+    "fig4_times",
+    "fig5_hybrid",
+    "fig8_vs_stepwise",
+    "ablation_storage",
+    "ablation_techniques",
+]

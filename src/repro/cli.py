@@ -1,0 +1,130 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro.cli '//a//b' document.xml
+    python -m repro.cli '//keyword' --xmark 0.5 --stats
+    cat doc.xml | python -m repro.cli '/site/regions' --strategy hybrid
+    python -m repro.cli '//a[b]' doc.xml --explain
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.engine.api import Engine
+from repro.tree.parser import parse_xml
+from repro.xmark.generator import XMarkGenerator
+
+STRATEGIES = ("naive", "jumping", "memo", "optimized", "hybrid", "deterministic")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "XPath evaluation via selecting tree automata "
+            "(reproduction of Maneth & Nguyen, VLDB 2010)"
+        ),
+    )
+    parser.add_argument("query", help="an XPath query in the forward Core fragment")
+    parser.add_argument(
+        "file",
+        nargs="?",
+        help="XML document (default: stdin, unless --xmark is given)",
+    )
+    parser.add_argument(
+        "--xmark",
+        type=float,
+        metavar="SCALE",
+        help="query a generated XMark document of the given scale instead of a file",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="optimized",
+        help="evaluation strategy (default: optimized)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print evaluation statistics"
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the compiled automaton and plan instead of evaluating",
+    )
+    parser.add_argument(
+        "--count", action="store_true", help="print only the number of results"
+    )
+    parser.add_argument(
+        "--labels", action="store_true", help="print element names next to node ids"
+    )
+    parser.add_argument(
+        "--attributes",
+        action="store_true",
+        help="encode attributes as @name children (enables the attribute axis)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="seed for --xmark (default 42)"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.xmark is not None:
+        doc = XMarkGenerator(scale=args.xmark, seed=args.seed).document()
+    else:
+        if args.file:
+            with open(args.file, "r", encoding="utf-8") as f:
+                text = f.read()
+        else:
+            text = sys.stdin.read()
+        try:
+            doc = parse_xml(text)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    try:
+        engine = Engine(
+            doc, strategy=args.strategy, encode_attributes=args.attributes
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    try:
+        if args.explain:
+            print(engine.explain(args.query), file=out)
+            return 0
+        ids = engine.select(args.query)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.count:
+        print(len(ids), file=out)
+    elif args.labels:
+        for v, label in zip(ids, engine.labels_of(ids)):
+            print(f"{v}\t{label}", file=out)
+    else:
+        print(" ".join(map(str, ids)), file=out)
+
+    if args.stats and engine.last_stats is not None:
+        stats = engine.last_stats
+        print(
+            f"# selected={stats.selected} visited={stats.visited} "
+            f"jumps={stats.jumps} memo_entries={stats.memo_entries} "
+            f"of {len(engine.tree)} nodes",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""XPath evaluation engines (Sections 4.3-4.4, the Figure 4 series).
+
+All engines share the stack machine of :mod:`repro.engine.core` and differ
+only in which techniques are enabled:
+
+==============  =======  ======  =====================
+engine          jumping  memo    information propagation
+==============  =======  ======  =====================
+naive           no       no      no
+jumping         yes      no      yes
+memo            no       yes     no
+optimized       yes      yes     yes
+==============  =======  ======  =====================
+
+(The paper's "Jumping Eval." series computes the top-down approximation
+on the fly and pays the |Q| factor per visited node -- our jumping engine
+does the same: no transition memoization, but the per-state-set jump plans
+are cached, without which a Python implementation could not jump at all.)
+
+:mod:`repro.engine.hybrid` implements the start-anywhere evaluation of
+Section 4.4, :mod:`repro.engine.deterministic` the minimal-TDSTA pipeline
+for predicate-free path queries (Section 3 end to end), and
+:mod:`repro.engine.api` the one-call public interface.
+"""
+
+from repro.engine.api import Engine, evaluate
+from repro.engine.core import run_asta
+from repro.engine.hybrid import hybrid_evaluate
+
+__all__ = ["Engine", "evaluate", "run_asta", "hybrid_evaluate"]

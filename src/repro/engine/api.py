@@ -1,0 +1,190 @@
+"""One-call public API.
+
+>>> from repro import parse_xml, Engine
+>>> doc = parse_xml("<r><a><x/><b/></a><b/></r>")
+>>> Engine(doc).select("//a/b")
+[3]
+
+:class:`Engine` owns the compiled-query cache and the tree index; repeated
+queries against the same document reuse both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.asta.automaton import ASTA
+from repro.counters import EvalStats
+from repro.engine import deterministic, hybrid, jumping, memo, naive, optimized
+from repro.engine.core import run_asta
+from repro.index.jumping import TreeIndex
+from repro.tree.binary import BinaryTree
+from repro.tree.document import XMLDocument
+from repro.xpath.ast import Path
+from repro.xpath.compiler import compile_xpath
+from repro.xpath.parser import parse_xpath
+
+_STRATEGIES = {
+    "naive": naive.evaluate,
+    "jumping": jumping.evaluate,
+    "memo": memo.evaluate,
+    "optimized": optimized.evaluate,
+}
+
+
+class Engine:
+    """An XPath engine bound to one document.
+
+    Parameters
+    ----------
+    document:
+        An :class:`XMLDocument`, a :class:`BinaryTree`, or an XML string.
+    strategy:
+        One of ``naive | jumping | memo | optimized | hybrid |
+        deterministic`` (default ``optimized``).  ``hybrid`` applies
+        start-anywhere planning to descendant chains; ``deterministic``
+        runs predicate-free path queries through the minimal-TDSTA
+        pipeline of Section 3 (Algorithm B.1).  Both fall back to
+        ``optimized`` for queries outside their fragment.
+    """
+
+    def __init__(
+        self,
+        document: Union[XMLDocument, BinaryTree, str],
+        strategy: str = "optimized",
+        encode_attributes: bool = False,
+        encode_text: bool = False,
+    ) -> None:
+        if isinstance(document, str):
+            from repro.tree.parser import parse_xml
+
+            document = parse_xml(document)
+        if isinstance(document, XMLDocument):
+            tree = BinaryTree.from_document(
+                document,
+                encode_attributes=encode_attributes,
+                encode_text=encode_text,
+            )
+        else:
+            tree = document
+        self.tree = tree
+        self.index = TreeIndex(tree)
+        self.set_strategy(strategy)
+        self._compiled: Dict[str, ASTA] = {}
+        self.last_stats: Optional[EvalStats] = None
+
+    def set_strategy(self, strategy: str) -> None:
+        extra = ("hybrid", "deterministic")
+        if strategy not in _STRATEGIES and strategy not in extra:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; choose from "
+                f"{sorted(_STRATEGIES) + list(extra)}"
+            )
+        self.strategy = strategy
+
+    def compile(self, query: Union[str, Path]) -> ASTA:
+        """Compile (and cache) a query.
+
+        On documents with encoded attribute/text labels, the ``*`` node
+        test is resolved against the document's element-label inventory
+        (see :func:`repro.xpath.compiler.compile_xpath`).
+        """
+        key = query if isinstance(query, str) else str(query)
+        asta = self._compiled.get(key)
+        if asta is None:
+            asta = compile_xpath(query, wildcard_labels=self._wildcard_labels())
+            self._compiled[key] = asta
+        return asta
+
+    def _wildcard_labels(self):
+        encoded = any(l.startswith(("@", "#")) for l in self.tree.labels)
+        if not encoded:
+            return None  # Σ is exact for element-only documents
+        return [l for l in self.tree.labels if not l.startswith(("@", "#"))]
+
+    def select(self, query: Union[str, Path]) -> List[int]:
+        """Node ids selected by ``query``, in document order."""
+        return self.run(query)[1]
+
+    def run(self, query: Union[str, Path]) -> Tuple[bool, List[int]]:
+        """(accepted, selected ids); also records :attr:`last_stats`."""
+        stats = EvalStats()
+        path_obj = parse_xpath(query) if isinstance(query, str) else query
+        if path_obj.has_backward_axes():
+            # Backward axes are outside the forward theory (Section 6):
+            # route through the mixed pipeline regardless of strategy.
+            from repro.engine.mixed import mixed_evaluate
+
+            result = mixed_evaluate(path_obj, self.index, stats)
+            self.last_stats = stats
+            return result
+        if self.strategy == "hybrid":
+            path = path_obj
+            result = hybrid.hybrid_evaluate(path, self.index, stats)
+        elif self.strategy == "deterministic":
+            from repro.automata.pathdet import NotPathShaped
+
+            path = parse_xpath(query) if isinstance(query, str) else query
+            try:
+                result = deterministic.evaluate(path, self.index, stats)
+            except NotPathShaped:
+                asta = self.compile(path)
+                result = optimized.evaluate(asta, self.index, stats)
+        else:
+            asta = self.compile(query)
+            result = _STRATEGIES[self.strategy](asta, self.index, stats)
+        self.last_stats = stats
+        return result
+
+    def count(self, query: Union[str, Path]) -> int:
+        """Number of selected nodes."""
+        return len(self.select(query))
+
+    def labels_of(self, ids: List[int]) -> List[str]:
+        """Element names of a result list (convenience for examples)."""
+        return [self.tree.label(v) for v in ids]
+
+    def extract(self, query: Union[str, Path], indent: int = 0) -> List[str]:
+        """Serialized XML subtrees of the selected nodes."""
+        from repro.tree.serialize import subtree_to_xml
+
+        return [
+            subtree_to_xml(self.tree, v, indent=indent)
+            for v in self.select(query)
+        ]
+
+    def explain(self, query: Union[str, Path]) -> str:
+        """Describe the compiled automaton and (for hybrid) the plan."""
+        path = parse_xpath(query) if isinstance(query, str) else query
+        if path.has_backward_axes():
+            from repro.engine.mixed import forward_prefix_length
+
+            k = forward_prefix_length(path)
+            lines = [
+                "mixed pipeline (backward axes):",
+                f"  forward segment: {k} step(s) on the optimized engine",
+                f"  remainder: {len(path.steps) - k} step(s) step-at-a-time",
+            ]
+            if k:
+                prefix = Path(path.absolute, path.steps[:k])
+                lines.append(self.compile(prefix).describe())
+            return "\n".join(lines)
+        asta = self.compile(query)
+        lines = [asta.describe()]
+        if hybrid.is_hybrid_applicable(path):
+            k = hybrid.plan_pivot(path, self.index)
+            step = path.steps[k]
+            lines.append(
+                f"hybrid plan: pivot step {k + 1} ({step.test}, "
+                f"count {self.index.count(step.test)})"
+            )
+        return "\n".join(lines)
+
+
+def evaluate(
+    document: Union[XMLDocument, BinaryTree, str],
+    query: Union[str, Path],
+    strategy: str = "optimized",
+) -> List[int]:
+    """One-shot convenience wrapper around :class:`Engine`."""
+    return Engine(document, strategy).select(query)

@@ -1,0 +1,339 @@
+"""The shared ASTA evaluation stack machine (Algorithm 4.1 + techniques).
+
+One iterative bottom-up-with-top-down-preprocessing evaluator, with the
+paper's three implementation techniques as independent switches:
+
+- ``jumping``: restrict the traversal to the on-the-fly top-down
+  approximation of relevant nodes (Definition 4.2 /
+  :class:`~repro.asta.tda.TDAAnalysis`), replacing recursion into a child
+  by recursion into the jumped-to nodes of its binary subtree;
+- ``memo``: memoize the transition look-up (line 3 of Algorithm 4.1) and
+  the formula evaluation (``eval_trans``) as templates keyed by
+  ``(state set, label, Dom Γ1, Dom Γ2)``;
+- ``ip`` (information propagation): after the first child returns,
+  re-evaluate the pending formulas to narrow the state set sent into the
+  second child -- this is what gives predicates their one-witness
+  existential behaviour and re-enables jumping on the remaining siblings.
+
+The machine is fully iterative (explicit work/value stacks): sibling
+chains are right spines of the binary tree and would overflow Python's
+recursion limit on any realistic document.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.asta.automaton import ASTA, ASTATransition
+from repro.asta.formula import (
+    Formula,
+    down_states,
+    partial_eval,
+    pending_down2,
+)
+from repro.asta.semantics import (
+    EMPTY_ROPE,
+    ResultSet,
+    concat,
+    eval_transitions,
+    leaf,
+    root_answer,
+)
+from repro.asta.tda import TDAAnalysis
+from repro.counters import EvalStats
+from repro.index.jumping import OMEGA, TreeIndex
+from repro.tree.binary import NIL
+
+StateSet = FrozenSet[str]
+
+# Work-stack frame tags.
+_EVAL, _MID, _FINISH, _COMBINE, _LIT, _CHAIN = 0, 1, 2, 3, 4, 5
+
+_EMPTY_SET: FrozenSet[str] = frozenset()
+
+
+def run_asta(
+    asta: ASTA,
+    index: TreeIndex,
+    *,
+    jumping: bool = True,
+    memo: bool = True,
+    ip: bool = True,
+    stats: Optional[EvalStats] = None,
+) -> Tuple[bool, List[int]]:
+    """Evaluate ``asta`` over ``index.tree``.
+
+    Returns ``(accepted, selected node ids in document order)``.
+    """
+    tree = index.tree
+    labels_arr = tree.labels
+    label_of = tree.label_of
+    left_arr, right_arr = tree.left, tree.right
+    tda = TDAAnalysis(asta, tree) if jumping else None
+
+    trans_memo: Dict[tuple, tuple] = {}
+    ip_memo: Dict[tuple, FrozenSet[str]] = {}
+    eval_memo: Dict[tuple, tuple] = {}
+
+    marking = asta.is_marking
+
+    def active_and_r1(states: StateSet, label: str) -> tuple:
+        if memo:
+            key = (states, label)
+            hit = trans_memo.get(key)
+            if hit is not None:
+                if stats is not None:
+                    stats.memo_hits += 1
+                return hit
+        active = asta.active(states, label)
+        r1 = frozenset(
+            q for t in active for i, q in down_states(t.formula) if i == 1
+        )
+        r2 = frozenset(
+            q for t in active for i, q in down_states(t.formula) if i == 2
+        )
+        entry = (active, r1, r2)
+        if memo:
+            trans_memo[(states, label)] = entry
+            if stats is not None:
+                stats.memo_entries += 1
+        return entry
+
+    def narrowed_r2(
+        states: StateSet, label: str, active, dom1: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        if memo:
+            key = (states, label, dom1)
+            hit = ip_memo.get(key)
+            if hit is not None:
+                if stats is not None:
+                    stats.memo_hits += 1
+                return hit
+        decided = set()
+        for t in active:
+            if partial_eval(t.formula, dom1) == 1:
+                decided.add(t.q)
+        r2: set = set()
+        for t in active:
+            pe = partial_eval(t.formula, dom1)
+            if pe == 0:
+                continue
+            if marking(t.q):
+                r2 |= _marks_down2(t.formula, dom1, marking)
+                if pe == -1:
+                    r2 |= pending_down2(t.formula, dom1)
+                continue
+            if pe == 1:
+                continue
+            if t.q in decided:
+                continue  # truth settled elsewhere, no marks at stake
+            r2 |= pending_down2(t.formula, dom1)
+        out = frozenset(r2)
+        if memo:
+            ip_memo[(states, label, dom1)] = out
+            if stats is not None:
+                stats.memo_entries += 1
+        return out
+
+    def finish_gamma(
+        states: StateSet,
+        label: str,
+        active,
+        g1: ResultSet,
+        g2: ResultSet,
+        v: int,
+        dom1: FrozenSet[str],
+    ) -> ResultSet:
+        if not memo:
+            return eval_transitions(active, g1, g2, v)
+        dom2 = _EMPTY_SET if not g2 else frozenset(g2)
+        key = (states, label, dom1, dom2)
+        template = eval_memo.get(key)
+        if template is None:
+            template = _make_template(active, dom1, dom2)
+            eval_memo[key] = template
+            if stats is not None:
+                stats.memo_entries += 1
+        elif stats is not None:
+            stats.memo_hits += 1
+        out: ResultSet = {}
+        for q, selecting, sources in template:
+            rope = leaf(v) if selecting else EMPTY_ROPE
+            for side, q2 in sources:
+                rope = concat(rope, (g1 if side == 1 else g2)[q2])
+            prev = out.get(q)
+            out[q] = rope if prev is None else concat(prev, rope)
+        return out
+
+    def child_frames(child: int, states: StateSet, work: list) -> None:
+        """Push frames that leave exactly one Γ for this child on the
+        value stack."""
+        if child == NIL or not states:
+            work.append((_LIT,))
+            return
+        if tda is None:
+            work.append((_EVAL, child, states))
+            return
+        info = tda.info(states)
+        label_rep = tda.atom_rep(labels_arr[label_of[child]])
+        if info.jump_shape == "none" or info.per_atom[label_rep].skip_class == "ess":
+            work.append((_EVAL, child, states))
+            return
+        ids = info.essential_ids
+        if info.jump_shape == "both":
+            if stats is not None:
+                stats.jumps += 1
+            first = index.dt(child, ids)
+            if first == OMEGA:
+                work.append((_LIT,))
+                return
+            # Lazy dt/ft chain: evaluate one target, merge, then decide
+            # whether the chain may stop early (see SetInfo.early_stop).
+            work.append((_CHAIN, child, states, first, ids, {}, info.early_stop))
+            work.append((_EVAL, first, states))
+            return
+        if stats is not None:
+            stats.jumps += 1
+        hit = index.lt(child, ids) if info.jump_shape == "left" else index.rt(child, ids)
+        if hit == OMEGA:
+            work.append((_LIT,))
+        else:
+            work.append((_EVAL, hit, states))
+
+    # ---- the machine ----------------------------------------------------------
+
+    work: list = []
+    values: List[ResultSet] = []
+    top: StateSet = frozenset(asta.top)
+    work.append((_EVAL, tree.root(), top))
+    while work:
+        frame = work.pop()
+        tag = frame[0]
+        if tag == _EVAL:
+            _, v, states = frame
+            if stats is not None:
+                stats.visited += 1
+            label = labels_arr[label_of[v]]
+            active, r1, r2syn = active_and_r1(states, label)
+            work.append((_MID, v, states, label, active, r2syn))
+            child_frames(left_arr[v], r1, work)
+        elif tag == _MID:
+            _, v, states, label, active, r2syn = frame
+            g1 = values.pop()
+            dom1 = _EMPTY_SET if not g1 else frozenset(g1)
+            if ip:
+                r2 = narrowed_r2(states, label, active, dom1)
+            else:
+                r2 = r2syn
+            work.append((_FINISH, v, states, label, active, g1, dom1))
+            child_frames(right_arr[v], r2, work)
+        elif tag == _FINISH:
+            _, v, states, label, active, g1, dom1 = frame
+            g2 = values.pop()
+            values.append(finish_gamma(states, label, active, g1, g2, v, dom1))
+        elif tag == _COMBINE:
+            k = frame[1]
+            merged: ResultSet = {}
+            for g in values[-k:]:
+                for q, rope in g.items():
+                    prev = merged.get(q)
+                    merged[q] = rope if prev is None else concat(prev, rope)
+            del values[-k:]
+            values.append(merged)
+        elif tag == _CHAIN:
+            _, anchor, states, last, ids, acc, early_stop = frame
+            g = values.pop()
+            if acc:
+                # acc is owned exclusively by this chain: merge in place.
+                merged = acc
+                for q, rope in g.items():
+                    prev = merged.get(q)
+                    merged[q] = rope if prev is None else concat(prev, rope)
+            else:
+                merged = g
+            if early_stop and len(merged) == len(states):
+                # Every state already accepted and none is marking: later
+                # targets cannot change the result (one-witness semantics).
+                values.append(merged)
+                continue
+            if stats is not None:
+                stats.jumps += 1
+            nxt = index.ft(last, ids, anchor)
+            if nxt == OMEGA:
+                values.append(merged)
+                continue
+            work.append((_CHAIN, anchor, states, nxt, ids, merged, early_stop))
+            work.append((_EVAL, nxt, states))
+        else:  # _LIT
+            values.append({})
+
+    (gamma_root,) = values
+    accepted, selected = root_answer(asta, gamma_root)
+    if stats is not None:
+        stats.selected = len(selected)
+    return accepted, selected
+
+
+def _marks_down2(f: Formula, dom1: FrozenSet[str], marking) -> set:
+    """↓2 states that may carry marks through non-false, non-negated branches."""
+    out: set = set()
+    _marks_walk(f, dom1, marking, out)
+    return out
+
+
+def _marks_walk(f: Formula, dom1, marking, out: set) -> None:
+    if partial_eval(f, dom1) == 0:
+        return
+    tag = f[0]
+    if tag == "d":
+        if f[1] == 2 and marking(f[2]):
+            out.add(f[2])
+    elif tag in ("&", "|"):
+        _marks_walk(f[1], dom1, marking, out)
+        _marks_walk(f[2], dom1, marking, out)
+    # negation: marks never cross ¬ (Figure 7's "not" rule drops them)
+
+
+def _make_template(active, dom1: FrozenSet[str], dom2: FrozenSet[str]) -> tuple:
+    """Evaluate formulas once against the domains, record contributions."""
+    rows = []
+    for t in active:
+        ok, sources = _formula_template(t.formula, dom1, dom2)
+        if ok:
+            rows.append((t.q, t.selecting, tuple(sources)))
+    return tuple(rows)
+
+
+def _formula_template(
+    f: Formula, dom1: FrozenSet[str], dom2: FrozenSet[str]
+) -> Tuple[bool, list]:
+    """Figure 7's judgement with domains: (truth, contributing (side, q))."""
+    tag = f[0]
+    if tag == "T":
+        return True, []
+    if tag == "F":
+        return False, []
+    if tag == "d":
+        side, q = f[1], f[2]
+        if q in (dom1 if side == 1 else dom2):
+            return True, [(side, q)]
+        return False, []
+    if tag == "!":
+        b, _ = _formula_template(f[1], dom1, dom2)
+        return (not b), []
+    b1, s1 = _formula_template(f[1], dom1, dom2)
+    if tag == "&":
+        if not b1:
+            return False, []
+        b2, s2 = _formula_template(f[2], dom1, dom2)
+        if not b2:
+            return False, []
+        return True, s1 + s2
+    b2, s2 = _formula_template(f[2], dom1, dom2)
+    if b1 and b2:
+        return True, s1 + s2
+    if b1:
+        return True, s1
+    if b2:
+        return True, s2
+    return False, []

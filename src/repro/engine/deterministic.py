@@ -1,0 +1,93 @@
+"""Deterministic evaluation for path queries (Section 3 end to end).
+
+Pipeline: XPath -> ASTA -> exact TDSTA (subset construction) -> *minimal*
+TDSTA (Appendix A.2) -> jumping run restricted to relevant nodes
+(Algorithm B.1) -> selected nodes read off the partial run.
+
+This is the Intro's "extreme |Q|-optimization" with the paper's
+relevant-node machinery on top: minimization is what makes the relevant
+nodes well-defined (Section 3), and Theorem 3.1 guarantees the run maps
+exactly the relevant nodes.  Only predicate-free location paths qualify;
+:func:`evaluate` raises :class:`~repro.automata.pathdet.NotPathShaped`
+otherwise (the Engine facade falls back to the optimized ASTA engine).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.automata.minimize import minimize_tdsta
+from repro.automata.pathdet import NotPathShaped, path_tdsta
+from repro.automata.sta import STA
+from repro.automata.topdown import topdown_jump
+from repro.counters import EvalStats
+from repro.index.jumping import TreeIndex
+from repro.xpath.ast import Path
+from repro.xpath.compiler import compile_xpath
+from repro.xpath.parser import parse_xpath
+
+_tdsta_cache: Dict[str, STA] = {}
+
+
+def compile_tdsta(query: Union[str, Path]) -> STA:
+    """Minimal complete TDSTA for a predicate-free path query (cached)."""
+    key = query if isinstance(query, str) else str(query)
+    sta = _tdsta_cache.get(key)
+    if sta is None:
+        asta = compile_xpath(query)
+        sta = minimize_tdsta(path_tdsta(asta))
+        _tdsta_cache[key] = sta
+    return sta
+
+
+def evaluate(
+    query: Union[str, Path],
+    index: TreeIndex,
+    stats: Optional[EvalStats] = None,
+) -> Tuple[bool, List[int]]:
+    """(accepted, selected ids) via the minimal-TDSTA jumping run."""
+    sta = compile_tdsta(query)
+    run = topdown_jump(sta, index, stats)
+    tree = index.tree
+    selected = sorted(
+        v for v, q in run.items() if sta.selects(q, tree.label(v))
+    )
+    if stats is not None:
+        stats.selected = len(selected)
+    # For predicate-free path queries the ASTA accepts a tree iff a full
+    # match exists, i.e. iff something is selected.
+    return bool(selected), selected
+
+
+def evaluate_bottomup_filter(
+    query: Union[str, Path],
+    index: TreeIndex,
+    stats: Optional[EvalStats] = None,
+) -> Tuple[bool, List[int]]:
+    """Bottom-up deterministic evaluation of ``//target[.//witness]``.
+
+    The query class where the paper proves top-down determinism is
+    impossible (Example A.1): a 3-state BDSTA evaluated with the
+    subtree-skipping bottom-up run of Algorithm B.2.  Raises
+    :class:`NotPathShaped` for other queries.
+    """
+    from repro.automata.bottomup import bottomup_jump, selected_by_run
+    from repro.automata.pathdet import filter_bdsta, match_filter_query
+    from repro.xpath.parser import parse_xpath
+
+    path = parse_xpath(query) if isinstance(query, str) else query
+    matched = match_filter_query(path)
+    if matched is None:
+        raise NotPathShaped("expected a //target[.//witness] query")
+    target, witness = matched
+    sta = filter_bdsta(target, witness)
+    run = bottomup_jump(sta, index, stats)
+    if run is None:
+        return False, []
+    tree = index.tree
+    selected = sorted(
+        v for v, q in run.items() if sta.selects(q, tree.label(v))
+    )
+    if stats is not None:
+        stats.selected = len(selected)
+    return bool(selected), selected

@@ -1,0 +1,165 @@
+"""Hybrid (start-anywhere) evaluation (Section 4.4, Figure 5).
+
+For a pure descendant chain ``//l1//l2//...//ln`` the evaluator:
+
+1. reads the O(1) global label counts and picks the pivot step ``lk``
+   with the fewest occurrences;
+2. jumps directly to all ``lk``-labelled nodes;
+3. checks the prefix ``//l1//...//l(k-1)`` *upwards* with parent moves
+   (greedy nearest-ancestor matching -- exact for existence, and what the
+   paper's implementation does since its index has no ancestor jumps);
+4. collects the suffix ``//l(k+1)//...//ln`` *downwards* with staircase-
+   pruned label-range scans.
+
+Configurations A/B of Figure 5 (rare pivot) make this dramatically
+cheaper than the regular top-down+bottom-up run; configuration D is its
+worst case (pivot barely rarer than the top label).  For queries outside
+the descendant-chain fragment, :func:`hybrid_evaluate` falls back to the
+optimized engine.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Tuple
+
+from repro.counters import EvalStats
+from repro.engine import optimized
+from repro.index.jumping import TreeIndex
+from repro.tree.binary import NIL
+from repro.xpath.ast import Axis, Path
+from repro.xpath.compiler import compile_xpath
+from repro.xpath.parser import parse_xpath
+
+
+def is_hybrid_applicable(path: Path) -> bool:
+    """True for absolute descendant chains, optionally with one final
+    forward predicate (the analogue of the paper's text predicates, which
+    its hybrid strategy was designed for)."""
+    if not path.absolute or not path.steps:
+        return False
+    for step in path.steps[:-1]:
+        if step.axis is not Axis.DESCENDANT or step.predicate is not None:
+            return False
+        if step.test_matches_any():
+            return False
+    last = path.steps[-1]
+    if last.axis is not Axis.DESCENDANT or last.test_matches_any():
+        return False
+    if last.predicate is not None and _pred_backward(last.predicate):
+        return False
+    return True
+
+
+def _pred_backward(pred) -> bool:
+    from repro.engine.mixed import _pred_has_backward
+
+    return _pred_has_backward(pred)
+
+
+def plan_pivot(path: Path, index: TreeIndex) -> int:
+    """Index of the rarest step label (the start-anywhere pivot)."""
+    counts = [index.count(s.test) for s in path.steps]
+    best = 0
+    for i, c in enumerate(counts):
+        if c < counts[best]:
+            best = i
+    return best
+
+
+def hybrid_evaluate(
+    query: "str | Path",
+    index: TreeIndex,
+    stats: Optional[EvalStats] = None,
+) -> Tuple[bool, List[int]]:
+    """Evaluate with the start-anywhere strategy; returns (accepted, ids)."""
+    path = parse_xpath(query) if isinstance(query, str) else query
+    if not is_hybrid_applicable(path):
+        asta = compile_xpath(path)
+        return optimized.evaluate(asta, index, stats)
+    tree = index.tree
+    labels = [s.test for s in path.steps]
+    k = plan_pivot(path, index)
+
+    starts = index.labels.nodes(labels[k])
+    if stats is not None:
+        stats.visited += len(starts)
+
+    verified = (
+        starts
+        if k == 0
+        else [v for v in starts if _prefix_holds(index, labels[:k], v, stats)]
+    )
+
+    selected = _collect_suffix(index, labels[k + 1 :], verified, stats)
+    predicate = path.steps[-1].predicate
+    if predicate is not None:
+        from repro.baselines.stepwise import _eval_pred
+
+        selected = [
+            v for v in selected if _eval_pred(index, predicate, v, stats)
+        ]
+    if stats is not None:
+        stats.selected = len(selected)
+    return bool(selected), selected
+
+
+def _prefix_holds(
+    index: TreeIndex, prefix: List[str], v: int, stats: Optional[EvalStats]
+) -> bool:
+    """Greedy upward check: ancestors of v match prefix (deepest first).
+
+    Greedy matching is exact for existence: the deepest candidate for the
+    last prefix label has a superset of remaining ancestors, so if any
+    witness chain exists the greedy one does too.
+    """
+    tree = index.tree
+    j = len(prefix) - 1
+    p = tree.parent[v]
+    while p != NIL and j >= 0:
+        if stats is not None:
+            stats.visited += 1
+        if tree.label(p) == prefix[j]:
+            j -= 1
+        p = tree.parent[p]
+    return j < 0
+
+
+def _collect_suffix(
+    index: TreeIndex,
+    suffix: List[str],
+    current: List[int],
+    stats: Optional[EvalStats],
+) -> List[int]:
+    """Descend //l(k+1)//...//ln from the verified pivots.
+
+    Per level, the context is staircase-pruned to top-most nodes (nested
+    subtree ranges are redundant for the descendant axis), then each range
+    is sliced out of the next label's sorted node list.
+    """
+    tree = index.tree
+    out = current
+    for label in suffix:
+        lst = index.labels.nodes(label)
+        nxt: List[int] = []
+        prev_end = -1
+        for v in out:
+            if v < prev_end:
+                continue  # nested in a previous context subtree
+            end = tree.xml_end[v]
+            lo = bisect_right(lst, v)
+            hi = bisect_left(lst, end, lo)
+            nxt.extend(lst[lo:hi])
+            if stats is not None:
+                stats.visited += hi - lo
+                stats.index_probes += 1
+            prev_end = end
+        out = nxt
+        if not out:
+            break
+    if not suffix:
+        # Pure bottom-up run: the pivots themselves are the answer, but
+        # nested duplicates must be kept (each was verified separately) --
+        # they are already distinct and sorted.
+        return list(out)
+    return out

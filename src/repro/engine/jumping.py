@@ -1,0 +1,24 @@
+"""Jumping evaluation: on-the-fly top-down relevance approximation.
+
+The "Jumping Eval." series of Figure 4: the traversal only touches the
+approximated relevant nodes (plus information propagation, which is what
+keeps predicate checks existential and jumps alive past satisfied
+predicates); the |Q| transition-scan is still paid at every visited node
+(no memoization).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.asta.automaton import ASTA
+from repro.counters import EvalStats
+from repro.engine.core import run_asta
+from repro.index.jumping import TreeIndex
+
+
+def evaluate(
+    asta: ASTA, index: TreeIndex, stats: Optional[EvalStats] = None
+) -> Tuple[bool, List[int]]:
+    """Run the jumping engine; returns (accepted, selected ids)."""
+    return run_asta(asta, index, jumping=True, memo=False, ip=True, stats=stats)

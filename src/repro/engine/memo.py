@@ -1,0 +1,23 @@
+"""Memoized evaluation: full traversal, amortized |Q| factor.
+
+The "Memo. Eval." series of Figure 4: the document factor |D| is paid in
+full (except for subtrees the restriction sets kill), but the transition
+look-up and formula evaluation are memoized so that, after a few warm-up
+nodes, each node costs a table look-up (Section 4.4, "Memoization").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.asta.automaton import ASTA
+from repro.counters import EvalStats
+from repro.engine.core import run_asta
+from repro.index.jumping import TreeIndex
+
+
+def evaluate(
+    asta: ASTA, index: TreeIndex, stats: Optional[EvalStats] = None
+) -> Tuple[bool, List[int]]:
+    """Run the memoizing engine; returns (accepted, selected ids)."""
+    return run_asta(asta, index, jumping=False, memo=True, ip=False, stats=stats)

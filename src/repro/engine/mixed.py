@@ -1,0 +1,89 @@
+"""Mixed forward/backward evaluation (the Section 6 extension).
+
+The paper's theory covers the *forward* fragment; its prototype supports
+backward axes outside the theory ("up-moves ... are not part of the
+theory", Section 6, with the caveat that one top-down+bottom-up pass is
+no longer sufficient).  We follow the same pragmatic route:
+
+1. the maximal *leading forward segment* of the query (steps and
+   predicates inside the forward fragment) runs on the optimized ASTA
+   engine with all its jumping machinery;
+2. the remaining steps -- the first backward step and everything after
+   it -- run step-at-a-time from the materialized context, using parent
+   walks for ``parent::``/``ancestor::`` (the index has no upward jumps,
+   exactly as the paper notes for its hybrid evaluator).
+
+Semantically this equals the reference evaluation of the whole path; the
+property tests check exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.baselines.stepwise import eval_steps_from
+from repro.counters import EvalStats
+from repro.engine import optimized
+from repro.index.jumping import TreeIndex
+from repro.xpath.ast import Axis, Path, Pred, PredAnd, PredNot, PredOr, PredPath, Step
+from repro.xpath.compiler import compile_xpath
+from repro.xpath.parser import parse_xpath
+
+
+def forward_prefix_length(path: Path) -> int:
+    """Number of leading steps fully inside the forward fragment."""
+    n = 0
+    for step in path.steps:
+        if step.axis.is_backward or _pred_has_backward(step.predicate):
+            break
+        n += 1
+    return n
+
+
+def _pred_has_backward(pred: Optional[Pred]) -> bool:
+    if pred is None:
+        return False
+    if isinstance(pred, (PredAnd, PredOr)):
+        return _pred_has_backward(pred.left) or _pred_has_backward(pred.right)
+    if isinstance(pred, PredNot):
+        return _pred_has_backward(pred.inner)
+    if isinstance(pred, PredPath):
+        return any(
+            s.axis.is_backward or _pred_has_backward(s.predicate)
+            for s in pred.path.steps
+        )
+    raise AssertionError(pred)
+
+
+def mixed_evaluate(
+    query: Union[str, Path],
+    index: TreeIndex,
+    stats: Optional[EvalStats] = None,
+) -> Tuple[bool, List[int]]:
+    """(accepted, selected ids) for queries with backward axes."""
+    path = parse_xpath(query) if isinstance(query, str) else query
+    if not path.absolute:
+        raise ValueError("mixed_evaluate expects an absolute query")
+    k = forward_prefix_length(path)
+    if k == 0:
+        # The very first step is backward: start step-wise from the
+        # document node (parent/ancestor of it are empty, so this is
+        # usually empty unless a later segment recovers -- XPath agrees).
+        context: List[int] = [-1]
+    else:
+        prefix = Path(path.absolute, path.steps[:k])
+        asta = compile_xpath(prefix)
+        prefix_stats = EvalStats()
+        _, context = optimized.evaluate(asta, index, prefix_stats)
+        if stats is not None:
+            stats.merge(prefix_stats)
+    rest = path.steps[k:]
+    if rest and context:
+        selected = eval_steps_from(index, tuple(rest), context, stats)
+    elif rest:
+        selected = []
+    else:
+        selected = context
+    if stats is not None:
+        stats.selected = len(selected)
+    return bool(selected), selected

@@ -1,0 +1,21 @@
+"""Naive evaluation: Algorithm 4.1 with no optimizations.
+
+Visits every node reachable through the restriction sets and pays the
+|Q| transition-scan at each -- the "Naive Eval." series of Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.asta.automaton import ASTA
+from repro.counters import EvalStats
+from repro.engine.core import run_asta
+from repro.index.jumping import TreeIndex
+
+
+def evaluate(
+    asta: ASTA, index: TreeIndex, stats: Optional[EvalStats] = None
+) -> Tuple[bool, List[int]]:
+    """Run the naive engine; returns (accepted, selected ids)."""
+    return run_asta(asta, index, jumping=False, memo=False, ip=False, stats=stats)

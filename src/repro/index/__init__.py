@@ -1,0 +1,16 @@
+"""Tree indexes: the substrate SXSI's C++ layer provides (Section 5, [1], [18]).
+
+- :mod:`repro.index.bitvector` -- rank/select bitvector,
+- :mod:`repro.index.succinct` -- balanced-parentheses succinct tree
+  (substitute for the Sadakane--Navarro structure of [18]),
+- :mod:`repro.index.labels` -- per-label node lists and O(1) global counts,
+- :mod:`repro.index.jumping` -- the jumping functions ``dt``, ``ft``,
+  ``lt``, ``rt`` of Definition 3.2.
+"""
+
+from repro.index.bitvector import BitVector
+from repro.index.labels import LabelIndex
+from repro.index.jumping import OMEGA, TreeIndex
+from repro.index.succinct import SuccinctTree
+
+__all__ = ["BitVector", "LabelIndex", "TreeIndex", "SuccinctTree", "OMEGA"]

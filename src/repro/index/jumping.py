@@ -1,0 +1,108 @@
+"""Top-down jumping functions ``dt``, ``ft``, ``lt``, ``rt`` (Definition 3.2).
+
+These are the primitives that let a run touch only (approximately) relevant
+nodes.  Over our id scheme they reduce to range queries on the per-label
+sorted lists of :class:`~repro.index.labels.LabelIndex`:
+
+- the *binary* subtree of ``v`` is the id range ``[v, bend(v))``,
+- the followings of ``v`` below ``v0`` are ``[bend(v), bend(v0))``,
+
+so ``dt`` and ``ft`` are O(|L| log n) binary searches.  ``lt`` and ``rt``
+walk the left/right spine (O(depth) / O(#siblings)); the paper's index also
+implements these by search, but the spine walk is what its implementation
+section describes for the non-indexed fallback and is exact.
+
+All functions return :data:`OMEGA` when no qualifying node exists, matching
+the paper's error node Ω.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.index.labels import LabelIndex
+from repro.tree.binary import NIL, BinaryTree
+
+OMEGA = -2
+"""The error node Ω of Definition 3.2 (distinct from the # sentinel)."""
+
+
+class TreeIndex:
+    """Bundles a :class:`BinaryTree` with its label index and jump functions."""
+
+    def __init__(self, tree: BinaryTree, labels: Optional[LabelIndex] = None) -> None:
+        self.tree = tree
+        self.labels = labels if labels is not None else LabelIndex(tree)
+
+    # -- label helpers -------------------------------------------------------
+
+    def label_ids(self, names: Iterable[str]) -> list[int]:
+        """Intern a set of element names; silently drops absent labels.
+
+        A label that never occurs in the document can never be jumped to,
+        so dropping it is semantically transparent (the paper's index does
+        the same: the jump simply returns Ω).
+        """
+        out = []
+        for name in names:
+            lab = self.tree.label_ids.get(name)
+            if lab is not None:
+                out.append(lab)
+        return out
+
+    def count(self, name: str) -> int:
+        """Global count of a label, O(1) (used by the hybrid planner)."""
+        return self.labels.count(name)
+
+    # -- Definition 3.2 -------------------------------------------------------
+
+    def dt(self, v: int, label_ids: Iterable[int]) -> int:
+        """First (binary) descendant of ``v`` in document order with label in L."""
+        hi = self.tree.bend(v)
+        hit = self.labels.first_in_range(label_ids, v + 1, hi)
+        return OMEGA if hit == -1 else hit
+
+    def ft(self, v: int, label_ids: Iterable[int], v0: int) -> int:
+        """First following node of ``v`` that is a (binary) descendant of ``v0``."""
+        lo = self.tree.bend(v)
+        hi = self.tree.bend(v0)
+        if lo >= hi:
+            return OMEGA
+        hit = self.labels.first_in_range(label_ids, lo, hi)
+        return OMEGA if hit == -1 else hit
+
+    def lt(self, v: int, label_ids: Iterable[int]) -> int:
+        """First node on the left-most path below ``v`` with label in L."""
+        lab_set = set(label_ids)
+        cur = self.tree.left[v]
+        while cur != NIL:
+            if self.tree.label_of[cur] in lab_set:
+                return cur
+            cur = self.tree.left[cur]
+        return OMEGA
+
+    def rt(self, v: int, label_ids: Iterable[int]) -> int:
+        """First node on the right-most path below ``v`` with label in L."""
+        lab_set = set(label_ids)
+        cur = self.tree.right[v]
+        while cur != NIL:
+            if self.tree.label_of[cur] in lab_set:
+                return cur
+            cur = self.tree.right[cur]
+        return OMEGA
+
+    # -- derived enumerations --------------------------------------------------
+
+    def topmost_in_subtree(self, v: int, label_ids: Iterable[int]) -> list[int]:
+        """Top-most L-labelled nodes in the binary subtree of ``v``.
+
+        Computed as ``pi0 = dt(v, L)``, then ``pi_{k+1} = ft(pi_k, L, v)``
+        until Ω -- exactly the recipe below Definition 3.2.
+        """
+        ids = list(label_ids)
+        out: list[int] = []
+        cur = self.dt(v, ids)
+        while cur != OMEGA:
+            out.append(cur)
+            cur = self.ft(cur, ids, v)
+        return out

@@ -1,0 +1,84 @@
+"""Per-label node lists with O(1) global counts.
+
+SXSI's compressed text/tree indexes expose, for every element name, the
+ability to jump to labelled descendants/followings and to read the global
+count of a label in constant time (Section 5).  This module is the
+Python-level equivalent: for each label, the sorted list of node ids
+(document order).  Because :class:`~repro.tree.binary.BinaryTree` ids *are*
+document order, these lists are produced already sorted.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Optional, Protocol, Sequence
+
+
+class _LabelledTree(Protocol):
+    n: int
+    labels: list[str]
+    label_of: Sequence[int]
+
+    def label_id(self, name: str) -> Optional[int]: ...
+
+
+class LabelIndex:
+    """Sorted id lists per label, plus O(1) counts.
+
+    Works over any tree exposing ``labels`` / ``label_of`` in preorder
+    (both :class:`BinaryTree` and :class:`SuccinctTree` qualify).
+    """
+
+    def __init__(self, tree: _LabelledTree) -> None:
+        self.tree = tree
+        lists: list[list[int]] = [[] for _ in tree.labels]
+        label_of = tree.label_of
+        for v in range(tree.n):
+            lists[label_of[v]].append(v)
+        self._lists = lists
+
+    def count(self, label: str) -> int:
+        """Global number of nodes with this element name (O(1))."""
+        lab = self.tree.label_ids.get(label) if hasattr(self.tree, "label_ids") else None
+        if lab is None:
+            lab = _label_id(self.tree, label)
+        return 0 if lab is None else len(self._lists[lab])
+
+    def nodes(self, label: str) -> list[int]:
+        """All nodes with this label, in document order."""
+        lab = _label_id(self.tree, label)
+        return [] if lab is None else self._lists[lab]
+
+    def first_in_range(self, label_ids: Iterable[int], lo: int, hi: int) -> int:
+        """Smallest node id in ``[lo, hi)`` whose label id is in the set.
+
+        Returns ``-1`` when no such node exists.  Cost is
+        O(|L| log n), matching the paper's index cost model.
+        """
+        best = -1
+        for lab in label_ids:
+            lst = self._lists[lab]
+            i = bisect_left(lst, lo)
+            if i < len(lst):
+                v = lst[i]
+                if v < hi and (best == -1 or v < best):
+                    best = v
+        return best
+
+    def count_in_range(self, label_ids: Iterable[int], lo: int, hi: int) -> int:
+        """Number of nodes in ``[lo, hi)`` with a label in the set."""
+        total = 0
+        for lab in label_ids:
+            lst = self._lists[lab]
+            total += bisect_right(lst, hi - 1) - bisect_left(lst, lo)
+        return total
+
+
+def _label_id(tree: _LabelledTree, name: str) -> Optional[int]:
+    ids = getattr(tree, "label_ids", None)
+    if ids is not None:
+        return ids.get(name)
+    try:
+        return tree.labels.index(name)
+    except ValueError:
+        return None

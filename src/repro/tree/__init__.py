@@ -1,0 +1,27 @@
+"""XML tree substrate: document model, parser, binary encoding.
+
+The paper evaluates automata over binary trees obtained from XML documents
+via the first-child/next-sibling encoding (Section 2).  This package
+provides:
+
+- :class:`~repro.tree.document.XMLNode` / :class:`~repro.tree.document.XMLDocument`
+  -- an ordered labelled tree with document-order numbering,
+- :func:`~repro.tree.parser.parse_xml` -- a small dependency-free XML parser,
+- :class:`~repro.tree.binary.BinaryTree` -- the array-backed fcns encoding
+  that all automata run over.
+"""
+
+from repro.tree.document import XMLDocument, XMLNode
+from repro.tree.parser import XMLSyntaxError, parse_xml
+from repro.tree.binary import BinaryTree, NIL
+from repro.tree.serialize import to_xml
+
+__all__ = [
+    "XMLDocument",
+    "XMLNode",
+    "XMLSyntaxError",
+    "parse_xml",
+    "BinaryTree",
+    "NIL",
+    "to_xml",
+]

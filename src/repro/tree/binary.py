@@ -1,0 +1,274 @@
+"""First-child/next-sibling binary encoding of XML trees (Section 2).
+
+The automata of the paper run over binary trees: the left child of a node
+is its first child in the XML tree, the right child is its next sibling.
+``#`` leaves are virtual here -- a missing child is represented by the
+sentinel :data:`NIL` and every run function treats it as the ``#`` leaf.
+
+Node identifiers are preorder numbers of the binary tree, which coincide
+with XML document order (the fcns preorder visits a node, then its first
+child's subtree, then its next sibling's subtree -- exactly document
+order).  This is what makes the paper's "result sets as lists with O(1)
+concatenation" technique sound: results are produced sorted and
+duplicate-free.
+
+Key id-range facts used throughout the library:
+
+- the *XML* subtree of node ``v`` is the contiguous range
+  ``[v, xml_end[v])``;
+- the *binary* subtree of ``v`` (its XML subtree plus all following
+  siblings and their subtrees) is ``[v, bend(v))`` where ``bend(v)`` is
+  ``xml_end[parent[v]]`` (or ``n`` at the root chain).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.tree.document import XMLDocument, XMLNode
+
+NIL = -1
+"""Sentinel node id standing for the virtual ``#`` leaf."""
+
+TreeSpec = Union[str, tuple]
+"""Lightweight literal tree syntax: ``"a"`` or ``("a", child, child...)``."""
+
+
+class BinaryTree:
+    """Array-backed fcns-encoded document tree.
+
+    Construct via :meth:`from_document`, :meth:`from_spec` or
+    :meth:`from_xml`.  All per-node data lives in parallel Python lists
+    indexed by node id; this is the pointer-structure representation the
+    paper contrasts with succinct trees (see
+    :mod:`repro.index.succinct` for the succinct counterpart).
+    """
+
+    __slots__ = (
+        "labels",
+        "label_ids",
+        "label_of",
+        "left",
+        "right",
+        "parent",
+        "bparent",
+        "xml_end",
+        "n",
+    )
+
+    def __init__(
+        self,
+        labels: list[str],
+        label_of: list[int],
+        left: list[int],
+        right: list[int],
+        parent: list[int],
+        xml_end: list[int],
+    ) -> None:
+        self.labels = labels
+        self.label_ids = {name: i for i, name in enumerate(labels)}
+        self.label_of = label_of
+        self.left = left
+        self.right = right
+        self.parent = parent
+        self.xml_end = xml_end
+        self.n = len(label_of)
+        self.bparent = self._compute_binary_parents()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_document(
+        cls,
+        doc: XMLDocument,
+        encode_attributes: bool = False,
+        encode_text: bool = False,
+    ) -> "BinaryTree":
+        """Encode an :class:`XMLDocument`.
+
+        By default only element nodes are encoded, as in the paper
+        (Section 2).  The "straightforward encoding" of [1] the paper
+        refers to is available as options:
+
+        - ``encode_attributes``: each attribute becomes a leading child
+          element labelled ``@name`` (enables the attribute axis);
+        - ``encode_text``: non-whitespace character data becomes a
+          ``#text`` child element (enables the ``text()`` node test).
+        """
+        labels: list[str] = []
+        label_ids: dict[str, int] = {}
+        label_of: list[int] = []
+        left: list[int] = []
+        right: list[int] = []
+        parent: list[int] = []
+        xml_end: list[int] = []
+
+        def intern(name: str) -> int:
+            lab = label_ids.get(name)
+            if lab is None:
+                lab = label_ids[name] = len(labels)
+                labels.append(name)
+            return lab
+
+        def emit(name: str, par: int) -> int:
+            vid = len(label_of)
+            label_of.append(intern(name))
+            left.append(NIL)
+            right.append(NIL)
+            parent.append(par)
+            xml_end.append(vid + 1)
+            return vid
+
+        # Iterative preorder assigning ids in document order.
+        stack: list[tuple[XMLNode, int]] = [(doc.root, NIL)]
+        while stack:
+            node, par = stack.pop()
+            vid = emit(node.label, par)
+            if encode_attributes:
+                for name in node.attributes:
+                    emit("@" + name, vid)
+            if encode_text and node.text.strip():
+                emit("#text", vid)
+            stack.extend((c, vid) for c in reversed(node.children))
+
+        n = len(label_of)
+        # Second pass: fold subtree ends into parents.  Children have
+        # larger ids than their parent, so a backwards sweep sees every
+        # node after all of its descendants.
+        for v in range(n - 1, 0, -1):
+            p = parent[v]
+            if xml_end[v] > xml_end[p]:
+                xml_end[p] = xml_end[v]
+        # left = first child: the node v+1 iff parent[v+1] == v.
+        for v in range(n - 1):
+            if parent[v + 1] == v:
+                left[v] = v + 1
+        # right = next sibling: node at xml_end[v] iff same parent.
+        for v in range(n):
+            e = xml_end[v]
+            if e < n and parent[e] == parent[v]:
+                right[v] = e
+        return cls(labels, label_of, left, right, parent, xml_end)
+
+    @classmethod
+    def from_spec(cls, spec: TreeSpec) -> "BinaryTree":
+        """Build from the literal tuple syntax.
+
+        >>> t = BinaryTree.from_spec(("a", "b", ("c", "d")))
+        >>> t.label(0), t.label(1), t.label(2), t.label(3)
+        ('a', 'b', 'c', 'd')
+        """
+        return cls.from_document(XMLDocument(_spec_to_node(spec)))
+
+    @classmethod
+    def from_xml(cls, text: str) -> "BinaryTree":
+        """Parse an XML string and encode it."""
+        from repro.tree.parser import parse_xml
+
+        return cls.from_document(parse_xml(text))
+
+    def _compute_binary_parents(self) -> list[int]:
+        """Binary parent: the node whose left *or* right child this is."""
+        bparent = [NIL] * self.n
+        for v in range(self.n):
+            lc = self.left[v]
+            if lc != NIL:
+                bparent[lc] = v
+            rc = self.right[v]
+            if rc != NIL:
+                bparent[rc] = v
+        return bparent
+
+    # -- basic accessors ----------------------------------------------------
+
+    def label(self, v: int) -> str:
+        """Element name of node ``v``."""
+        return self.labels[self.label_of[v]]
+
+    def label_id(self, name: str) -> Optional[int]:
+        """Intern id of an element name, or None if absent from the tree."""
+        return self.label_ids.get(name)
+
+    def first_child(self, v: int) -> int:
+        """XML first child == binary left child (NIL if none)."""
+        return self.left[v]
+
+    def next_sibling(self, v: int) -> int:
+        """XML next sibling == binary right child (NIL if none)."""
+        return self.right[v]
+
+    def children(self, v: int) -> Iterator[int]:
+        """XML children of ``v`` in order."""
+        c = self.left[v]
+        while c != NIL:
+            yield c
+            c = self.right[c]
+
+    def bend(self, v: int) -> int:
+        """End (exclusive) of the *binary* subtree id range of ``v``."""
+        p = self.parent[v]
+        return self.n if p == NIL else self.xml_end[p]
+
+    def is_binary_leaf(self, v: int) -> bool:
+        """True when both binary children are the virtual ``#`` leaf."""
+        return self.left[v] == NIL and self.right[v] == NIL
+
+    def root(self) -> int:
+        """Id of the document root (always 0)."""
+        return 0
+
+    # -- derived traversals --------------------------------------------------
+
+    def xml_descendants(self, v: int) -> range:
+        """Ids of strict XML descendants of ``v`` (contiguous range)."""
+        return range(v + 1, self.xml_end[v])
+
+    def ancestors(self, v: int) -> Iterator[int]:
+        """Strict XML ancestors of ``v``, nearest first."""
+        p = self.parent[v]
+        while p != NIL:
+            yield p
+            p = self.parent[p]
+
+    def depth(self, v: int) -> int:
+        """XML depth of ``v`` (root has depth 0)."""
+        d = 0
+        p = self.parent[v]
+        while p != NIL:
+            d += 1
+            p = self.parent[p]
+        return d
+
+    def height(self) -> int:
+        """Maximum XML depth over all nodes."""
+        depth = [0] * self.n
+        best = 0
+        for v in range(1, self.n):
+            d = depth[self.parent[v]] + 1
+            depth[v] = d
+            if d > best:
+                best = d
+        return best
+
+    def label_histogram(self) -> dict[str, int]:
+        """Element-name histogram (used by the hybrid engine's planner)."""
+        counts = [0] * len(self.labels)
+        for lab in self.label_of:
+            counts[lab] += 1
+        return {name: counts[i] for i, name in enumerate(self.labels)}
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return f"BinaryTree(n={self.n}, labels={len(self.labels)})"
+
+
+def _spec_to_node(spec: TreeSpec) -> XMLNode:
+    if isinstance(spec, str):
+        return XMLNode(spec)
+    label, *children = spec
+    node = XMLNode(label)
+    for child in children:
+        node.append(_spec_to_node(child))
+    return node

@@ -1,0 +1,124 @@
+"""Ordered labelled XML trees (the unranked document model).
+
+The paper's automata run over *binary* trees; this module is the unranked
+XML side.  :class:`XMLNode` is a plain pointer structure used for document
+construction (parsing, generation); it is converted once into the
+array-backed :class:`repro.tree.binary.BinaryTree` for evaluation.
+
+Text content and attributes are kept (the parser produces them) but, as in
+the paper (Section 2), the automata only see element labels.  Attributes
+can optionally be encoded as specially-labelled child elements
+(``@name``), following the "straightforward encoding" of [1] the paper
+refers to.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class XMLNode:
+    """One element node of an XML document tree.
+
+    Attributes
+    ----------
+    label:
+        The element tag name.
+    children:
+        Ordered list of child elements.
+    attributes:
+        Mapping of attribute name to string value.
+    text:
+        Concatenated character data directly under this element.
+    parent:
+        Back pointer, maintained by :meth:`append`.
+    """
+
+    __slots__ = ("label", "children", "attributes", "text", "parent")
+
+    def __init__(
+        self,
+        label: str,
+        attributes: Optional[dict[str, str]] = None,
+        text: str = "",
+    ) -> None:
+        self.label = label
+        self.children: list[XMLNode] = []
+        self.attributes: dict[str, str] = attributes or {}
+        self.text = text
+        self.parent: Optional[XMLNode] = None
+
+    def append(self, child: "XMLNode") -> "XMLNode":
+        """Attach ``child`` as the last child and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def new_child(self, label: str, **attrs: str) -> "XMLNode":
+        """Create, attach and return a new child element."""
+        return self.append(XMLNode(label, attributes=dict(attrs) or None))
+
+    # -- traversal ---------------------------------------------------------
+
+    def preorder(self) -> Iterator["XMLNode"]:
+        """Yield this node and all descendants in document order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def descendants(self) -> Iterator["XMLNode"]:
+        """Yield strict descendants in document order."""
+        it = self.preorder()
+        next(it)
+        return it
+
+    def size(self) -> int:
+        """Number of element nodes in the subtree rooted here."""
+        return sum(1 for _ in self.preorder())
+
+    def depth(self) -> int:
+        """Height of the subtree rooted here (a leaf has depth 1)."""
+        stack: list[tuple[XMLNode, int]] = [(self, 1)]
+        best = 1
+        while stack:
+            node, d = stack.pop()
+            if d > best:
+                best = d
+            stack.extend((c, d + 1) for c in node.children)
+        return best
+
+    def find_all(self, label: str) -> list["XMLNode"]:
+        """All nodes in this subtree (inclusive) with the given label."""
+        return [n for n in self.preorder() if n.label == label]
+
+    def __repr__(self) -> str:
+        return f"XMLNode({self.label!r}, {len(self.children)} children)"
+
+
+class XMLDocument:
+    """A complete XML document: a single root element plus metadata."""
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: XMLNode) -> None:
+        self.root = root
+
+    def preorder(self) -> Iterator[XMLNode]:
+        """All element nodes in document order."""
+        return self.root.preorder()
+
+    def size(self) -> int:
+        """Total number of element nodes."""
+        return self.root.size()
+
+    def label_counts(self) -> dict[str, int]:
+        """Histogram of element labels over the whole document."""
+        counts: dict[str, int] = {}
+        for node in self.preorder():
+            counts[node.label] = counts.get(node.label, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"XMLDocument(root={self.root.label!r}, size={self.size()})"

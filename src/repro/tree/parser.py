@@ -1,0 +1,260 @@
+"""A small, dependency-free XML parser.
+
+Supports the subset of XML needed for the paper's workloads: elements,
+attributes, character data, comments, CDATA, processing instructions, an
+optional XML declaration and DOCTYPE (both skipped), and the five standard
+entities.  Namespaces are treated textually (prefix kept in the label).
+
+This is deliberately a recursive-descent parser over a single string with
+an explicit element stack; it handles megabyte-scale documents without
+recursion-depth issues.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tree.document import XMLDocument, XMLNode
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+_NAME_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:"
+)
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class XMLSyntaxError(ValueError):
+    """Raised when the input is not well-formed XML."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+def _decode_entities(text: str, base: int) -> str:
+    """Replace &name; and &#N; references in ``text``."""
+    if "&" not in text:
+        return text
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1:
+            raise XMLSyntaxError("unterminated entity reference", base + i)
+        name = text[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise XMLSyntaxError(f"unknown entity &{name};", base + i)
+        i = end + 1
+    return "".join(out)
+
+
+class _Parser:
+    """Single-pass XML scanner producing an :class:`XMLNode` tree."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.n = len(text)
+
+    # -- low-level helpers -------------------------------------------------
+
+    def _error(self, message: str) -> XMLSyntaxError:
+        return XMLSyntaxError(message, self.pos)
+
+    def _skip_ws(self) -> None:
+        text, n = self.text, self.n
+        i = self.pos
+        while i < n and text[i] in " \t\r\n":
+            i += 1
+        self.pos = i
+
+    def _expect(self, literal: str) -> None:
+        if not self.text.startswith(literal, self.pos):
+            raise self._error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def _read_name(self) -> str:
+        text, n = self.text, self.n
+        start = self.pos
+        if start >= n or text[start] not in _NAME_START:
+            raise self._error("expected a name")
+        i = start + 1
+        while i < n and text[i] in _NAME_CHARS:
+            i += 1
+        self.pos = i
+        return text[start:i]
+
+    def _read_attributes(self) -> dict[str, str]:
+        attrs: dict[str, str] = {}
+        while True:
+            self._skip_ws()
+            if self.pos >= self.n:
+                raise self._error("unterminated start tag")
+            ch = self.text[self.pos]
+            if ch in "/>":
+                return attrs
+            name = self._read_name()
+            self._skip_ws()
+            self._expect("=")
+            self._skip_ws()
+            quote = self.text[self.pos : self.pos + 1]
+            if quote not in ("'", '"'):
+                raise self._error("expected quoted attribute value")
+            end = self.text.find(quote, self.pos + 1)
+            if end == -1:
+                raise self._error("unterminated attribute value")
+            raw = self.text[self.pos + 1 : end]
+            attrs[name] = _decode_entities(raw, self.pos + 1)
+            self.pos = end + 1
+
+    def _skip_misc(self) -> None:
+        """Skip whitespace, comments, PIs, declarations between nodes."""
+        while True:
+            self._skip_ws()
+            if self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos + 4)
+                if end == -1:
+                    raise self._error("unterminated comment")
+                self.pos = end + 3
+            elif self.text.startswith("<?", self.pos):
+                end = self.text.find("?>", self.pos + 2)
+                if end == -1:
+                    raise self._error("unterminated processing instruction")
+                self.pos = end + 2
+            elif self.text.startswith("<!DOCTYPE", self.pos):
+                depth = 0
+                i = self.pos
+                while i < self.n:
+                    if self.text[i] == "[":
+                        depth += 1
+                    elif self.text[i] == "]":
+                        depth -= 1
+                    elif self.text[i] == ">" and depth == 0:
+                        break
+                    i += 1
+                if i >= self.n:
+                    raise self._error("unterminated DOCTYPE")
+                self.pos = i + 1
+            else:
+                return
+
+    # -- document parsing --------------------------------------------------
+
+    def parse(self) -> XMLDocument:
+        self._skip_misc()
+        root = self._parse_element_tree()
+        self._skip_misc()
+        if self.pos != self.n:
+            raise self._error("content after document element")
+        return XMLDocument(root)
+
+    def _parse_element_tree(self) -> XMLNode:
+        """Parse one element and its content iteratively (explicit stack)."""
+        root = self._parse_open_tag()
+        if root is None:
+            raise self._error("expected an element")
+        node, empty = root
+        if empty:
+            return node
+        stack: list[XMLNode] = [node]
+        text_parts: dict[int, list[str]] = {id(node): []}
+        while stack:
+            top = stack[-1]
+            self._scan_text(text_parts[id(top)])
+            if self.text.startswith("</", self.pos):
+                self.pos += 2
+                name = self._read_name()
+                if name != top.label:
+                    raise self._error(
+                        f"mismatched end tag </{name}> for <{top.label}>"
+                    )
+                self._skip_ws()
+                self._expect(">")
+                top.text = "".join(text_parts.pop(id(top)))
+                stack.pop()
+                continue
+            opened = self._parse_open_tag()
+            if opened is None:
+                raise self._error("unexpected content in element")
+            child, empty = opened
+            top.append(child)
+            if not empty:
+                stack.append(child)
+                text_parts[id(child)] = []
+        return node
+
+    def _scan_text(self, sink: list[str]) -> None:
+        """Accumulate character data / CDATA until the next tag."""
+        while True:
+            if self.pos >= self.n:
+                raise self._error("unexpected end of input inside element")
+            if self.text.startswith("<![CDATA[", self.pos):
+                end = self.text.find("]]>", self.pos + 9)
+                if end == -1:
+                    raise self._error("unterminated CDATA section")
+                sink.append(self.text[self.pos + 9 : end])
+                self.pos = end + 3
+                continue
+            if self.text.startswith("<!--", self.pos):
+                end = self.text.find("-->", self.pos + 4)
+                if end == -1:
+                    raise self._error("unterminated comment")
+                self.pos = end + 3
+                continue
+            if self.text.startswith("<?", self.pos):
+                end = self.text.find("?>", self.pos + 2)
+                if end == -1:
+                    raise self._error("unterminated processing instruction")
+                self.pos = end + 2
+                continue
+            nxt = self.text.find("<", self.pos)
+            if nxt == -1:
+                raise self._error("unexpected end of input inside element")
+            if nxt > self.pos:
+                raw = self.text[self.pos : nxt]
+                sink.append(_decode_entities(raw, self.pos))
+                self.pos = nxt
+                continue
+            return
+
+    def _parse_open_tag(self) -> Optional[tuple[XMLNode, bool]]:
+        """Parse ``<name attrs>`` or ``<name attrs/>``.
+
+        Returns ``(node, is_empty)`` or None if not at a start tag.
+        """
+        if not self.text.startswith("<", self.pos):
+            return None
+        if self.text.startswith("</", self.pos):
+            return None
+        self.pos += 1
+        name = self._read_name()
+        attrs = self._read_attributes()
+        node = XMLNode(name, attributes=attrs or None)
+        if self.text.startswith("/>", self.pos):
+            self.pos += 2
+            return node, True
+        self._expect(">")
+        return node, False
+
+
+def parse_xml(text: str) -> XMLDocument:
+    """Parse an XML string into an :class:`XMLDocument`.
+
+    >>> doc = parse_xml("<a><b/><c x='1'>hi</c></a>")
+    >>> [child.label for child in doc.root.children]
+    ['b', 'c']
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,83 @@
+"""XML serialization for :class:`~repro.tree.document.XMLDocument` trees."""
+
+from __future__ import annotations
+
+from repro.tree.document import XMLDocument, XMLNode
+
+_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_ESCAPES, '"': "&quot;"}
+
+
+def _escape(text: str, table: dict[str, str]) -> str:
+    for raw, rep in table.items():
+        if raw in text:
+            text = text.replace(raw, rep)
+    return text
+
+
+def subtree_to_xml(tree, v: int, indent: int = 0) -> str:
+    """Serialize the XML subtree of node ``v`` of a BinaryTree.
+
+    Encoded ``@attr`` / ``#text`` children are rendered back as real
+    attributes / character data.
+    """
+    node = _rebuild(tree, v)
+    return to_xml(XMLDocument(node), indent=indent)
+
+
+def _rebuild(tree, v: int) -> XMLNode:
+    # Iterative reconstruction (subtrees can be deep).  Children are
+    # attached eagerly in document order; only the descent is deferred.
+    root = XMLNode(tree.label(v))
+    stack = [(v, root)]
+    while stack:
+        src, dst = stack.pop()
+        for c in tree.children(src):
+            label = tree.label(c)
+            if label.startswith("@"):
+                dst.attributes[label[1:]] = ""
+                continue
+            if label == "#text":
+                dst.text += "…"
+                continue
+            stack.append((c, dst.new_child(label)))
+    return root
+
+
+def to_xml(doc: XMLDocument, indent: int = 0) -> str:
+    """Serialize a document to an XML string.
+
+    ``indent > 0`` pretty-prints with that many spaces per level (only safe
+    for element-only trees, which is all the paper's workloads use).
+    """
+    out: list[str] = []
+    _write(doc.root, out, 0, indent)
+    return "".join(out)
+
+
+def _write(node: XMLNode, out: list[str], level: int, indent: int) -> None:
+    # Iterative serializer: frames are (node, phase) where phase 0 opens
+    # and phase 1 closes.
+    stack: list[tuple[XMLNode, int, int]] = [(node, 0, level)]
+    while stack:
+        cur, phase, lvl = stack.pop()
+        pad = " " * (indent * lvl) if indent else ""
+        nl = "\n" if indent else ""
+        if phase == 1:
+            out.append(f"{pad}</{cur.label}>{nl}")
+            continue
+        attrs = "".join(
+            f' {k}="{_escape(v, _ATTR_ESCAPES)}"'
+            for k, v in cur.attributes.items()
+        )
+        if not cur.children and not cur.text:
+            out.append(f"{pad}<{cur.label}{attrs}/>{nl}")
+            continue
+        if not cur.children:
+            text = _escape(cur.text, _ESCAPES)
+            out.append(f"{pad}<{cur.label}{attrs}>{text}</{cur.label}>{nl}")
+            continue
+        out.append(f"{pad}<{cur.label}{attrs}>{nl}")
+        stack.append((cur, 1, lvl))
+        for child in reversed(cur.children):
+            stack.append((child, 0, lvl + 1))

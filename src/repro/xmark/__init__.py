@@ -1,0 +1,18 @@
+"""XMark workload substrate (Section 5).
+
+The paper evaluates on a 116 MB XMark [19] document (5,673,051 nodes) with
+the XPathMark [4] tree queries Q01-Q09 plus Q10-Q15 (Figure 2).  This
+package provides:
+
+- :class:`~repro.xmark.generator.XMarkGenerator` -- a deterministic,
+  seeded generator of the XMark element skeleton at any scale,
+- :mod:`repro.xmark.configs` -- the four hand-crafted documents A-D of
+  Figure 5 (hybrid-evaluation study),
+- :data:`~repro.xmark.queries.QUERIES` -- Q01-Q15 verbatim.
+"""
+
+from repro.xmark.generator import XMarkGenerator
+from repro.xmark.queries import QUERIES, query
+from repro.xmark.configs import make_config, CONFIG_SPECS
+
+__all__ = ["XMarkGenerator", "QUERIES", "query", "make_config", "CONFIG_SPECS"]

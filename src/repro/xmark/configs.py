@@ -1,0 +1,120 @@
+"""The four hand-crafted documents A-D of Figure 5.
+
+Each configuration fixes the counts and *placement* of ``listitem``,
+``keyword`` and ``emph`` elements to exercise a different regime of the
+hybrid evaluator on the query ``//listitem//keyword//emph``:
+
+=====  ========  ========================  =================================
+cfg    listitem  keyword                   emph
+=====  ========  ========================  =================================
+A      75021     3, below listitems        4, below those 3 keywords
+B      75021     60234, below listitems    4, below those keywords
+C      9083      40493 total, 1 below      65831, below the one keyword
+                 listitems                 that sits under a listitem
+D      20304     10209, below ONE          15074, below one of those
+                 listitem                  keywords
+=====  ========  ========================  =================================
+
+A/B are the hybrid's best cases (rare pivot: keyword resp. emph), C makes
+hybrid behave like the regular run, D is the worst case.  ``fraction``
+scales all the large counts down (small counts are kept exact) so the
+same shapes can be tested quickly; ``fraction=1.0`` reproduces the paper's
+counts exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.tree.binary import BinaryTree
+from repro.tree.document import XMLDocument, XMLNode
+
+
+@dataclass(frozen=True)
+class ConfigSpec:
+    """Counts of one Figure 5 configuration (full size)."""
+
+    listitems: int
+    keywords_below: int  # keywords placed below listitems
+    keywords_elsewhere: int  # keywords placed outside any listitem
+    emphs: int  # emphs below keywords-that-are-below-listitems
+    expected_selected: int  # paper's line (1)
+
+
+CONFIG_SPECS: Dict[str, ConfigSpec] = {
+    "A": ConfigSpec(75021, 3, 0, 4, 4),
+    "B": ConfigSpec(75021, 60234, 0, 4, 4),
+    "C": ConfigSpec(9083, 1, 40492, 65831, 65831),
+    "D": ConfigSpec(20304, 10209, 0, 15074, 15074),
+}
+
+
+def _scaled(count: int, fraction: float) -> int:
+    """Scale large counts; keep single-digit counts exact."""
+    if count <= 10:
+        return count
+    return max(1, round(count * fraction))
+
+
+def make_config(name: str, fraction: float = 1.0) -> XMLDocument:
+    """Build configuration ``name`` at the given size fraction."""
+    spec = CONFIG_SPECS[name]
+    listitems = _scaled(spec.listitems, fraction)
+    kw_below = min(_scaled(spec.keywords_below, fraction), listitems)
+    kw_elsewhere = _scaled(spec.keywords_elsewhere, fraction) if spec.keywords_elsewhere else 0
+    emphs = _scaled(spec.emphs, fraction)
+
+    site = XMLNode("site")
+    body = site.new_child("regions")
+
+    if name == "D":
+        # All keywords below ONE listitem; all emphs below one keyword.
+        first = body.new_child("listitem")
+        for i in range(kw_below):
+            kw = first.new_child("keyword")
+            if i == 0:
+                for _ in range(emphs):
+                    kw.new_child("emph")
+        for _ in range(listitems - 1):
+            body.new_child("listitem")
+    else:
+        # Keywords spread over the first kw_below listitems; emphs spread
+        # over the first keywords (A/B: 4 emphs; C: all below keyword #1).
+        emph_plan = _emph_plan(name, kw_below, emphs)
+        for i in range(listitems):
+            listitem = body.new_child("listitem")
+            if i < kw_below:
+                kw = listitem.new_child("keyword")
+                for _ in range(emph_plan.get(i, 0)):
+                    kw.new_child("emph")
+
+    if kw_elsewhere:
+        # Configuration C: a large population of keywords that are NOT
+        # below any listitem (they defeat a keyword-pivot plan).
+        other = site.new_child("categories")
+        for _ in range(kw_elsewhere):
+            other.new_child("keyword")
+    return XMLDocument(site)
+
+
+def _emph_plan(name: str, kw_below: int, emphs: int) -> Dict[int, int]:
+    if name == "C":
+        return {0: emphs}
+    # A/B: 4 emphs over the first min(3, kw_below) keywords: 2+1+1.
+    plan: Dict[int, int] = {}
+    remaining = emphs
+    slot = 0
+    while remaining > 0 and slot < kw_below:
+        take = 2 if slot == 0 and remaining >= 2 else 1
+        plan[slot] = take
+        remaining -= take
+        slot += 1
+    if remaining > 0 and kw_below > 0:
+        plan[0] = plan.get(0, 0) + remaining
+    return plan
+
+
+def make_config_tree(name: str, fraction: float = 1.0) -> BinaryTree:
+    """Binary-encoded configuration document."""
+    return BinaryTree.from_document(make_config(name, fraction))

@@ -1,0 +1,257 @@
+"""Deterministic XMark skeleton generator.
+
+Generates the element structure of an XMark [19] auction document --
+site / regions / people / open_auctions / closed_auctions / categories --
+with the label distribution shaped so that Q01-Q15 have selectivities
+comparable (relatively) to the paper's 116 MB instance.  Text nodes are
+not generated: the paper's automata only see element labels (Section 2),
+and all fifteen queries are purely structural.
+
+The generator is fully deterministic for a given ``(scale, seed)`` pair;
+``scale=1.0`` yields roughly 30k element nodes, and node counts grow
+linearly.  The paper's document has ~5.7M nodes; running the benchmarks at
+``scale=4`` (~120k nodes) preserves every relative effect the paper
+reports while staying tractable for a pure-Python naive engine (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.tree.binary import BinaryTree
+from repro.tree.document import XMLDocument, XMLNode
+
+_CONTINENTS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+
+_WORDS = (
+    "auction gold item rare vintage antique silver coin stamp art "
+    "painting book first edition signed mint condition shipping world "
+    "wide bid reserve buyer seller quality original certified"
+).split()
+
+
+class XMarkGenerator:
+    """Seeded XMark-skeleton document factory.
+
+    ``text_content=True`` additionally fills ``text``-family elements with
+    pseudo-random character data (XMark uses Shakespeare; any word soup
+    exercises the same code paths), so that serialization and the
+    ``#text`` encoding can be tested on realistic documents.
+    """
+
+    def __init__(
+        self, scale: float = 1.0, seed: int = 42, text_content: bool = False
+    ) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+        self.text_content = text_content
+
+    # -- public API -------------------------------------------------------------
+
+    def document(self) -> XMLDocument:
+        """Generate the document (fresh RNG: repeatable)."""
+        self._rng = random.Random(self.seed)
+        site = XMLNode("site")
+        site.append(self._regions())
+        site.append(self._categories())
+        site.append(self._catgraph())
+        site.append(self._people())
+        site.append(self._open_auctions())
+        site.append(self._closed_auctions())
+        return XMLDocument(site)
+
+    def tree(self) -> BinaryTree:
+        """Generate and binary-encode in one call."""
+        return BinaryTree.from_document(self.document())
+
+    def xml(self, indent: int = 0) -> str:
+        """Generate and serialize to an XML string."""
+        from repro.tree.serialize import to_xml
+
+        return to_xml(self.document(), indent=indent)
+
+    def _words(self, lo: int, hi: int) -> str:
+        if not self.text_content:
+            return ""
+        count = self._rng.randint(lo, hi)
+        return " ".join(self._rng.choice(_WORDS) for _ in range(count))
+
+    # -- scaling helpers ---------------------------------------------------------
+
+    def _n(self, base: int) -> int:
+        """A scaled deterministic count."""
+        return max(1, round(base * self.scale))
+
+    def _chance(self, p: float) -> bool:
+        return self._rng.random() < p
+
+    def _between(self, lo: int, hi: int) -> int:
+        return self._rng.randint(lo, hi)
+
+    # -- sections ------------------------------------------------------------------
+
+    def _regions(self) -> XMLNode:
+        regions = XMLNode("regions")
+        for continent in _CONTINENTS:
+            node = regions.new_child(continent)
+            # Europe is the biggest region, as in XMark.
+            base = 100 if continent == "europe" else 55
+            for _ in range(self._n(base)):
+                node.append(self._item())
+        return regions
+
+    def _item(self) -> XMLNode:
+        item = XMLNode("item")
+        item.new_child("location")
+        item.new_child("quantity")
+        item.new_child("name")
+        item.new_child("payment")
+        item.append(self._description(depth=0))
+        item.new_child("shipping")
+        for _ in range(self._between(1, 3)):
+            item.new_child("incategory")
+        if self._chance(0.8):
+            mailbox = item.new_child("mailbox")
+            for _ in range(self._between(0, 3)):
+                mail = mailbox.new_child("mail")
+                mail.new_child("from")
+                mail.new_child("to")
+                mail.new_child("date")
+                mail.append(self._text_content())
+        return item
+
+    def _description(self, depth: int) -> XMLNode:
+        description = XMLNode("description")
+        if depth < 3 and self._chance(0.35):
+            description.append(self._parlist(depth + 1))
+        else:
+            description.append(self._text_content())
+        return description
+
+    def _parlist(self, depth: int) -> XMLNode:
+        parlist = XMLNode("parlist")
+        for _ in range(self._between(2, 4)):
+            listitem = parlist.new_child("listitem")
+            if depth < 3 and self._chance(0.25):
+                listitem.append(self._parlist(depth + 1))
+            else:
+                listitem.append(self._text_content())
+        return parlist
+
+    def _text_content(self) -> XMLNode:
+        """A <text> element with inline keyword/emph/bold children.
+
+        XMark's mixed content nests inline markup; a small fraction of
+        keywords contain an emph (this is what satisfies Q13's
+        ``.//keyword/emph`` and Q14's ``.//keyword//emph`` predicates).
+        """
+        text = XMLNode("text")
+        text.text = self._words(3, 12)
+        for _ in range(self._between(0, 2)):
+            keyword = text.new_child("keyword")
+            keyword.text = self._words(1, 2)
+            if self._chance(0.08):
+                keyword.new_child("emph")
+        for _ in range(self._between(0, 1)):
+            text.new_child("emph")
+        for _ in range(self._between(0, 1)):
+            text.new_child("bold")
+        return text
+
+    def _categories(self) -> XMLNode:
+        categories = XMLNode("categories")
+        for _ in range(self._n(60)):
+            category = categories.new_child("category")
+            category.new_child("name")
+            category.append(self._description(depth=2))
+        return categories
+
+    def _catgraph(self) -> XMLNode:
+        catgraph = XMLNode("catgraph")
+        for _ in range(self._n(120)):
+            catgraph.new_child("edge")
+        return catgraph
+
+    def _people(self) -> XMLNode:
+        people = XMLNode("people")
+        for _ in range(self._n(500)):
+            person = people.new_child("person")
+            person.new_child("name")
+            person.new_child("emailaddress")
+            if self._chance(0.5):
+                person.new_child("phone")
+            if self._chance(0.6):
+                address = person.new_child("address")
+                address.new_child("street")
+                address.new_child("city")
+                address.new_child("country")
+                address.new_child("zipcode")
+            if self._chance(0.4):
+                person.new_child("homepage")
+            if self._chance(0.3):
+                person.new_child("creditcard")
+            if self._chance(0.5):
+                profile = person.new_child("profile")
+                for _ in range(self._between(0, 3)):
+                    profile.new_child("interest")
+                if self._chance(0.6):
+                    profile.new_child("education")
+                if self._chance(0.7):
+                    profile.new_child("gender")
+                profile.new_child("business")
+                if self._chance(0.7):
+                    profile.new_child("age")
+            if self._chance(0.25):
+                watches = person.new_child("watches")
+                for _ in range(self._between(1, 2)):
+                    watches.new_child("watch")
+        return people
+
+    def _open_auctions(self) -> XMLNode:
+        open_auctions = XMLNode("open_auctions")
+        for _ in range(self._n(150)):
+            auction = open_auctions.new_child("open_auction")
+            auction.new_child("initial")
+            if self._chance(0.5):
+                auction.new_child("reserve")
+            for _ in range(self._between(0, 4)):
+                bidder = auction.new_child("bidder")
+                bidder.new_child("date")
+                bidder.new_child("time")
+                bidder.new_child("increase")
+            auction.new_child("current")
+            auction.new_child("itemref")
+            auction.new_child("seller")
+            auction.append(self._annotation())
+            auction.new_child("quantity")
+            auction.new_child("type")
+        return open_auctions
+
+    def _closed_auctions(self) -> XMLNode:
+        closed_auctions = XMLNode("closed_auctions")
+        for _ in range(self._n(200)):
+            auction = closed_auctions.new_child("closed_auction")
+            auction.new_child("seller")
+            auction.new_child("buyer")
+            auction.new_child("itemref")
+            auction.new_child("price")
+            auction.new_child("date")
+            auction.new_child("quantity")
+            auction.new_child("type")
+            auction.append(self._annotation(rich=True))
+        return closed_auctions
+
+    def _annotation(self, rich: bool = False) -> XMLNode:
+        annotation = XMLNode("annotation")
+        annotation.new_child("author")
+        description = annotation.new_child("description")
+        if rich and self._chance(0.7):
+            description.append(self._parlist(depth=1))
+        else:
+            description.append(self._text_content())
+        return annotation

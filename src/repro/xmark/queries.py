@@ -1,0 +1,48 @@
+"""The fifteen tree queries of Figure 2, verbatim.
+
+Q01-Q09 are realistic XPathMark queries for XMark documents; Q10-Q15
+stress the automata logic (predicate handling on the root element).
+"""
+
+from __future__ import annotations
+
+QUERIES: dict[str, str] = {
+    "Q01": "/site/regions",
+    "Q02": "/site/regions/europe/item/mailbox/mail/text/keyword",
+    "Q03": "/site/closed_auctions/closed_auction/annotation/description/parlist/listitem",
+    "Q04": "/site/regions/*/item",
+    "Q05": "//listitem//keyword",
+    "Q06": "/site/regions/*/item//keyword",
+    "Q07": "/site/people/person[ address and (phone or homepage) ]",
+    "Q08": "//listitem[ .//keyword and .//emph]//parlist",
+    "Q09": "/site/regions/*/item[ mailbox/mail/date ]/mailbox/mail",
+    "Q10": "/site[ .//keyword]",
+    "Q11": "/site//keyword",
+    "Q12": "/site[ .//keyword ]//keyword",
+    "Q13": "/site[ .//keyword or .//keyword/emph ]//keyword",
+    "Q14": "/site[ .//keyword//emph ]/descendant::keyword",
+    "Q15": "/site[ .//*//* ]//keyword",
+}
+
+QUERY_IDS = tuple(QUERIES)
+
+XPATHMARK_A: dict[str, str] = {
+    # The XPathMark [4] A-series (forward-fragment subset), the benchmark
+    # family the paper's Q01-Q09 are drawn from.
+    "A1": "/site/closed_auctions/closed_auction/annotation/description/text/keyword",
+    "A2": "//closed_auction//keyword",
+    "A3": "/site/closed_auctions/closed_auction//keyword",
+    "A4": "/site/closed_auctions/closed_auction[annotation/description/text/keyword]/date",
+    "A5": "/site/closed_auctions/closed_auction[descendant::keyword]/date",
+    "A6": "/site/people/person[profile/gender and profile/age]/name",
+    "A7": "/site/people/person[phone or homepage]/name",
+    "A8": "/site/people/person[address and (phone or homepage) and (creditcard or profile)]/name",
+}
+
+HYBRID_QUERY = "//listitem//keyword//emph"
+"""The query of the Figure 5 hybrid-evaluation study."""
+
+
+def query(qid: str) -> str:
+    """Query text by id ('Q01' .. 'Q15')."""
+    return QUERIES[qid]

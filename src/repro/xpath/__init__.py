@@ -1,0 +1,30 @@
+"""Forward Core XPath frontend (Definition C.1).
+
+- :mod:`repro.xpath.ast` -- the abstract syntax,
+- :mod:`repro.xpath.parser` -- lexer + recursive-descent parser with the
+  usual abbreviations (``//x``, ``x/y``, ``.//x``, ``@a``),
+- :mod:`repro.xpath.compiler` -- the XPath -> ASTA compilation scheme of
+  Section 4.2,
+- :mod:`repro.xpath.reference` -- a trivially-correct set-based evaluator
+  used as the semantic oracle by the test suite.
+"""
+
+from repro.xpath.ast import Axis, Path, Pred, PredAnd, PredNot, PredOr, PredPath, Step
+from repro.xpath.parser import XPathSyntaxError, parse_xpath
+from repro.xpath.compiler import compile_xpath
+from repro.xpath.reference import evaluate_reference
+
+__all__ = [
+    "Axis",
+    "Path",
+    "Step",
+    "Pred",
+    "PredAnd",
+    "PredOr",
+    "PredNot",
+    "PredPath",
+    "parse_xpath",
+    "XPathSyntaxError",
+    "compile_xpath",
+    "evaluate_reference",
+]

@@ -1,0 +1,117 @@
+"""Trivially-correct set-based XPath evaluation (the semantic oracle).
+
+Evaluates a :class:`~repro.xpath.ast.Path` over a
+:class:`~repro.tree.binary.BinaryTree` by direct node-set manipulation,
+one step at a time, with no automata and no cleverness.  Every engine in
+:mod:`repro.engine` and every baseline must agree with this function on
+every document; the property-based tests enforce that.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Set
+
+from repro.tree.binary import NIL, BinaryTree
+from repro.xpath.ast import Axis, Path, Pred, PredAnd, PredNot, PredOr, PredPath, Step
+
+
+def evaluate_reference(tree: BinaryTree, path: Path) -> List[int]:
+    """All nodes selected by ``path``, in document order."""
+    context = _initial_context(tree, path)
+    result = _eval_path(tree, path, context)
+    return sorted(result)
+
+
+def _initial_context(tree: BinaryTree, path: Path) -> Set[int]:
+    if path.absolute:
+        # The implicit context is the document node, parent of the root
+        # element; its children are {root}, its descendants all nodes.
+        return {-1}
+    raise ValueError(
+        "relative paths need an explicit context; use eval_path_from"
+    )
+
+
+def eval_path_from(tree: BinaryTree, path: Path, context: Iterable[int]) -> List[int]:
+    """Evaluate a (typically relative) path from explicit context nodes."""
+    if path.absolute:
+        return evaluate_reference(tree, path)
+    return sorted(_eval_path(tree, path, set(context)))
+
+
+def _eval_path(tree: BinaryTree, path: Path, context: Set[int]) -> Set[int]:
+    current = context
+    for step in path.steps:
+        current = _eval_step(tree, step, current)
+        if not current:
+            break
+    return current
+
+
+def _eval_step(tree: BinaryTree, step: Step, context: Set[int]) -> Set[int]:
+    out: Set[int] = set()
+    for v in context:
+        out.update(_axis_nodes(tree, step.axis, v))
+    out = {v for v in out if _test_matches(tree, step.axis, step.test, v)}
+    if step.predicate is not None:
+        out = {v for v in out if _eval_pred(tree, step.predicate, v)}
+    return out
+
+
+def _axis_nodes(tree: BinaryTree, axis: Axis, v: int) -> Iterable[int]:
+    if v == -1:  # the document node
+        if axis is Axis.CHILD:
+            return (0,)
+        if axis is Axis.DESCENDANT:
+            return range(tree.n)
+        return ()
+    if axis is Axis.CHILD:
+        return tree.children(v)
+    if axis is Axis.DESCENDANT:
+        return tree.xml_descendants(v)
+    if axis is Axis.FOLLOWING_SIBLING:
+        out = []
+        cur = tree.right[v]
+        while cur != NIL:
+            out.append(cur)
+            cur = tree.right[cur]
+        return out
+    if axis is Axis.ATTRIBUTE:
+        # Attributes are encoded as '@name'-labelled children.
+        return [c for c in tree.children(v) if tree.label(c).startswith("@")]
+    if axis is Axis.PARENT:
+        p = tree.parent[v]
+        return () if p == NIL else (p,)
+    if axis is Axis.ANCESTOR:
+        return tree.ancestors(v)
+    raise AssertionError(axis)
+
+
+def _test_matches(tree: BinaryTree, axis: Axis, test: str, v: int) -> bool:
+    label = tree.label(v)
+    if axis is Axis.ATTRIBUTE:
+        return test == "*" or test == "node()" or label == "@" + test
+    if test == "node()":
+        return True
+    if test == "*":
+        return not label.startswith("@") and not label.startswith("#")
+    if test == "text()":
+        return label == "#text"
+    return label == test
+
+
+def _eval_pred(tree: BinaryTree, pred: Pred, v: int) -> bool:
+    if isinstance(pred, PredAnd):
+        return _eval_pred(tree, pred.left, v) and _eval_pred(tree, pred.right, v)
+    if isinstance(pred, PredOr):
+        return _eval_pred(tree, pred.left, v) or _eval_pred(tree, pred.right, v)
+    if isinstance(pred, PredNot):
+        return not _eval_pred(tree, pred.inner, v)
+    if isinstance(pred, PredPath):
+        path = pred.path
+        if path.absolute:
+            return bool(_eval_path(tree, path, {-1}))
+        if not path.steps:
+            return True  # '.' -- the context node exists
+        return bool(_eval_path(tree, path, {v}))
+    raise AssertionError(pred)

@@ -1,0 +1,91 @@
+"""Hypothesis strategies shared across the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.automata.labelset import LabelSet
+from repro.tree.binary import BinaryTree
+
+LABELS = ("a", "b", "c", "d")
+
+
+@st.composite
+def tree_specs(draw, max_depth: int = 4, max_children: int = 4, labels=LABELS):
+    """Nested-tuple tree literals for BinaryTree.from_spec."""
+
+    def node(depth: int):
+        label = draw(st.sampled_from(labels))
+        if depth >= max_depth:
+            return label
+        n_children = draw(st.integers(0, max_children if depth < 2 else 2))
+        if n_children == 0:
+            return label
+        return tuple([label] + [node(depth + 1) for _ in range(n_children)])
+
+    return node(0)
+
+
+@st.composite
+def binary_trees(draw, **kwargs):
+    """Random small documents as BinaryTree."""
+    return BinaryTree.from_spec(draw(tree_specs(**kwargs)))
+
+
+@st.composite
+def label_sets(draw, labels=LABELS):
+    names = draw(st.frozensets(st.sampled_from(labels), max_size=len(labels)))
+    complemented = draw(st.booleans())
+    return LabelSet(names, complemented=complemented)
+
+
+@st.composite
+def xpath_queries(
+    draw,
+    labels=LABELS,
+    max_steps: int = 3,
+    pred_depth: int = 1,
+    backward: bool = False,
+):
+    """Random queries in the supported fragment (as strings).
+
+    ``backward=True`` mixes in parent/ancestor steps (never as the first
+    step, so the query stays absolute-forward-rooted).
+    """
+
+    def step(depth: int, first: bool = False) -> str:
+        if backward and not first and draw(st.integers(0, 3)) == 0:
+            kind = draw(st.sampled_from(["..", "parent", "ancestor"]))
+            if kind == "..":
+                return "/.."
+            test = draw(st.sampled_from(list(labels)))
+            return f"/{kind}::{test}"
+        axis = draw(st.sampled_from(["/", "//"]))
+        test = draw(st.sampled_from(list(labels) + ["*"]))
+        pred = ""
+        if depth < pred_depth and draw(st.integers(0, 3)) == 0:
+            pred = f"[{predicate(depth + 1)}]"
+        return f"{axis}{test}{pred}"
+
+    def rel_path(depth: int) -> str:
+        n = draw(st.integers(1, 2))
+        parts = []
+        for i in range(n):
+            axis = draw(st.sampled_from(["", ".//"])) if i == 0 else draw(
+                st.sampled_from(["/", "//"])
+            )
+            test = draw(st.sampled_from(list(labels)))
+            parts.append(f"{axis}{test}" if i == 0 else f"{axis}{test}")
+        return "".join(parts)
+
+    def predicate(depth: int) -> str:
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            return rel_path(depth)
+        if kind == 1:
+            return f"not({rel_path(depth)})"
+        op = "and" if kind == 2 else "or"
+        return f"{rel_path(depth)} {op} {rel_path(depth)}"
+
+    n_steps = draw(st.integers(1, max_steps))
+    return "".join(step(0, first=(i == 0)) for i in range(n_steps))

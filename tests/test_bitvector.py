@@ -1,0 +1,79 @@
+"""Rank/select bitvector: unit tests plus equivalence with naive scans."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.bitvector import BitVector
+
+
+class TestSmall:
+    def test_empty(self):
+        bv = BitVector([])
+        assert len(bv) == 0
+        assert bv.rank1(0) == 0
+
+    def test_single_bits(self):
+        bv = BitVector([1])
+        assert bv.get(0) == 1
+        assert bv.rank1(1) == 1
+        assert bv.select1(0) == 0
+
+    def test_pattern(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        bv = BitVector(bits)
+        assert [bv.get(i) for i in range(7)] == bits
+        assert bv.rank1(0) == 0
+        assert bv.rank1(3) == 2
+        assert bv.rank1(7) == 4
+        assert bv.rank0(7) == 3
+        assert bv.select1(0) == 0
+        assert bv.select1(3) == 6
+        assert bv.select0(0) == 1
+        assert bv.select0(2) == 5
+
+    def test_rank_beyond_length_clamps(self):
+        bv = BitVector([1, 1])
+        assert bv.rank1(100) == 2
+
+    def test_select_out_of_range(self):
+        bv = BitVector([1, 0])
+        with pytest.raises(IndexError):
+            bv.select1(1)
+        with pytest.raises(IndexError):
+            bv.select0(1)
+
+    def test_get_out_of_range(self):
+        bv = BitVector([1])
+        with pytest.raises(IndexError):
+            bv.get(1)
+
+    def test_crosses_word_boundaries(self):
+        bits = ([1] * 63 + [0]) * 3  # 192 bits, spans 3 words
+        bv = BitVector(bits)
+        assert bv.rank1(64) == 63
+        assert bv.rank1(128) == 126
+        assert bv.select1(63) == 64  # first one of the second block
+
+
+class TestAgainstNaive:
+    @given(st.lists(st.booleans(), max_size=700))
+    @settings(max_examples=50)
+    def test_rank_matches_prefix_sums(self, bits):
+        bv = BitVector(bits)
+        count = 0
+        for i, b in enumerate(bits):
+            assert bv.rank1(i) == count
+            count += 1 if b else 0
+        assert bv.rank1(len(bits)) == count
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=700))
+    @settings(max_examples=50)
+    def test_select_inverts_rank(self, bits):
+        bv = BitVector(bits)
+        ones = [i for i, b in enumerate(bits) if b]
+        zeros = [i for i, b in enumerate(bits) if not b]
+        for k, pos in enumerate(ones):
+            assert bv.select1(k) == pos
+        for k, pos in enumerate(zeros):
+            assert bv.select0(k) == pos

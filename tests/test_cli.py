@@ -1,0 +1,68 @@
+"""Command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def xml_file(tmp_path):
+    path = tmp_path / "doc.xml"
+    path.write_text('<r><a id="1"><b/></a><b/></r>')
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCLI:
+    def test_basic_query(self, xml_file):
+        code, out = run(["//a/b", xml_file])
+        assert code == 0
+        assert out.strip() == "2"
+
+    def test_count(self, xml_file):
+        code, out = run(["//b", xml_file, "--count"])
+        assert code == 0
+        assert out.strip() == "2"
+
+    def test_labels(self, xml_file):
+        code, out = run(["/r/*", xml_file, "--labels"])
+        assert code == 0
+        assert out.splitlines() == ["1\ta", "3\tb"]
+
+    def test_strategies(self, xml_file):
+        for strategy in ("naive", "hybrid", "deterministic"):
+            code, out = run(["//b", xml_file, "--strategy", strategy])
+            assert code == 0
+            assert out.strip() == "2 3"
+
+    def test_explain(self, xml_file):
+        code, out = run(["//a//b", xml_file, "--explain"])
+        assert code == 0
+        assert "ASTA" in out
+
+    def test_attributes_flag(self, xml_file):
+        code, out = run(["//a[@id]", xml_file, "--attributes", "--count"])
+        assert code == 0
+        assert out.strip() == "1"
+
+    def test_xmark_generation(self):
+        code, out = run(["//keyword", "--xmark", "0.05", "--count"])
+        assert code == 0
+        assert int(out.strip()) > 0
+
+    def test_bad_query_is_an_error(self, xml_file):
+        code, _ = run(["//a[", xml_file])
+        assert code == 1
+
+    def test_bad_xml_is_an_error(self, tmp_path):
+        path = tmp_path / "bad.xml"
+        path.write_text("<a><b></a>")
+        code, _ = run(["//a", str(path)])
+        assert code == 1

@@ -1,0 +1,158 @@
+"""XPath -> ASTA compilation (Section 4.2, Examples 4.1 and C.1)."""
+
+import pytest
+
+from repro.asta.formula import TRUE, down, down_states, for_
+from repro.xpath.compiler import XPathCompileError, compile_xpath
+
+
+def state_by_suffix(asta, suffix):
+    (match,) = [s for s in asta.states if s.endswith(suffix)]
+    return match
+
+
+class TestExample41:
+    """//a//b[c] must compile to exactly the paper's automaton."""
+
+    def test_shape(self):
+        asta = compile_xpath("//a//b[c]")
+        assert len(asta.states) == 3
+        assert len(asta.transitions) == 6
+
+    def test_transition_structure(self):
+        asta = compile_xpath("//a//b[c]")
+        qa = state_by_suffix(asta, "_a")
+        qb = state_by_suffix(asta, "_b")
+        qc = state_by_suffix(asta, "_c")
+        by_kind = {}
+        for t in asta.transitions:
+            by_kind.setdefault(t.q, []).append(t)
+        # q0, {a} -> ↓1 q1   and   q0, Σ -> ↓1 q0 ∨ ↓2 q0
+        formulas_a = {t.formula for t in by_kind[qa]}
+        assert down(1, qb) in formulas_a
+        assert for_(down(1, qa), down(2, qa)) in formulas_a
+        # q1, {b} => ↓1 q2 (selecting)
+        sel = [t for t in by_kind[qb] if t.selecting]
+        assert len(sel) == 1 and sel[0].formula == down(1, qc)
+        assert sel[0].labels.contains("b") and not sel[0].labels.contains("x")
+        # q2, {c} -> ⊤   and   q2, Σ -> ↓2 q2
+        formulas_c = {t.formula for t in by_kind[qc]}
+        assert TRUE in formulas_c
+        assert down(2, qc) in formulas_c
+
+    def test_top_state_is_first_step(self):
+        asta = compile_xpath("//a//b[c]")
+        assert asta.top == {state_by_suffix(asta, "_a")}
+
+
+class TestExampleC1:
+    """//x[(a1 or a2) and ... ] stays linear in the number of labels."""
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_linear_size(self, n):
+        clauses = " and ".join(
+            f"(a{2 * i + 1} or a{2 * i + 2})" for i in range(n)
+        )
+        asta = compile_xpath(f"//x[ {clauses} ]")
+        states, transitions = asta.size()
+        assert states == 2 * n + 1
+        assert transitions == 4 * n + 2
+
+    def test_selecting_formula_is_cnf_shaped(self):
+        asta = compile_xpath("//x[(a1 or a2) and (a3 or a4)]")
+        (sel,) = [t for t in asta.transitions if t.selecting]
+        assert sel.formula[0] == "&"
+        assert len(down_states(sel.formula)) == 4
+
+
+class TestAxes:
+    def test_child_axis_scans_right_spine(self):
+        asta = compile_xpath("/a/b")
+        qb = state_by_suffix(asta, "chil_b")
+        recursion = [
+            t for t in asta.transitions if t.q == qb and t.formula == down(2, qb)
+        ]
+        assert len(recursion) == 1
+
+    def test_descendant_axis_scans_subtree(self):
+        asta = compile_xpath("//a")
+        (qa,) = asta.states
+        recursion = [
+            t
+            for t in asta.transitions
+            if t.q == qa and t.formula == for_(down(1, qa), down(2, qa))
+        ]
+        assert len(recursion) == 1
+
+    def test_following_sibling_enters_via_down2(self):
+        asta = compile_xpath("/a/following-sibling::b")
+        qa = state_by_suffix(asta, "chil_a")
+        (progress,) = [
+            t
+            for t in asta.transitions
+            if t.q == qa and t.labels.contains("a") and t.formula != down(2, qa)
+        ]
+        side = {i for i, _q in down_states(progress.formula)}
+        assert side == {2}
+
+    def test_attribute_axis_uses_at_label(self):
+        asta = compile_xpath("/a[@id]")
+        labels = {
+            name
+            for t in asta.transitions
+            for name in t.labels.mentioned()
+        }
+        assert "@id" in labels
+
+    def test_wildcard_step(self):
+        asta = compile_xpath("/site/*/item")
+        q_star = state_by_suffix(asta, "chil_star")
+        progress = [
+            t
+            for t in asta.transitions
+            if t.q == q_star and t.formula != down(2, q_star)
+        ]
+        assert len(progress) == 1
+        assert progress[0].labels.is_any()
+
+
+class TestPredicates:
+    def test_not_compiles_to_negation(self):
+        asta = compile_xpath("//a[not(b)]")
+        (progress,) = [
+            t for t in asta.transitions if t.selecting
+        ]
+        assert progress.formula[0] == "!"
+
+    def test_nested_predicate_states(self):
+        asta = compile_xpath("//a[b[c]]")
+        assert any(s.endswith("chil_c") for s in asta.states)
+
+    def test_empty_dot_predicate_is_true(self):
+        asta = compile_xpath("//a[.]")
+        (progress,) = [t for t in asta.transitions if t.selecting]
+        assert progress.formula == TRUE
+
+
+class TestErrors:
+    def test_relative_top_level_rejected(self):
+        with pytest.raises(XPathCompileError):
+            compile_xpath("a/b")
+
+    def test_attribute_start_rejected(self):
+        with pytest.raises(XPathCompileError):
+            compile_xpath("/@id")
+
+    def test_attribute_wildcard_rejected(self):
+        with pytest.raises(XPathCompileError):
+            compile_xpath("/a[@*]")
+
+    def test_absolute_pred_path_rejected(self):
+        with pytest.raises(XPathCompileError):
+            compile_xpath("//a[/b]")
+
+    def test_backward_axes_rejected(self):
+        with pytest.raises(XPathCompileError):
+            compile_xpath("//a/..")
+        with pytest.raises(XPathCompileError):
+            compile_xpath("//a[../b]")

@@ -1,0 +1,26 @@
+"""Doctests embedded in public docstrings must stay truthful."""
+
+import doctest
+
+import pytest
+
+import repro.engine.api
+import repro.tree.binary
+import repro.tree.parser
+import repro.xpath.compiler
+import repro.xpath.parser
+
+MODULES = [
+    repro.engine.api,
+    repro.tree.binary,
+    repro.tree.parser,
+    repro.xpath.compiler,
+    repro.xpath.parser,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{module.__name__}: {result.failed} doctest failures"
+    assert result.attempted > 0, f"{module.__name__} has no doctests"

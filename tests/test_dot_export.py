@@ -1,0 +1,25 @@
+"""Dot export of automata."""
+
+from repro.automata.dot import asta_to_dot, sta_to_dot
+from repro.automata.examples import sta_desc_a_desc_b
+from repro.xpath.compiler import compile_xpath
+
+
+class TestDot:
+    def test_sta_dot_contains_states_and_edges(self):
+        dot = sta_to_dot(sta_desc_a_desc_b())
+        assert dot.startswith("digraph")
+        assert '"q0"' in dot and '"q1"' in dot
+        assert "doublecircle" in dot  # top state
+        assert "->" in dot
+
+    def test_asta_dot_contains_formulas(self):
+        dot = asta_to_dot(compile_xpath("//a//b[c]"))
+        assert "⇒" in dot  # selecting transition rendered
+        assert "↓1" in dot
+        assert "shape=box" in dot
+
+    def test_quoting_is_safe(self):
+        dot = sta_to_dot(sta_desc_a_desc_b())
+        # balanced braces, no raw quotes outside attributes
+        assert dot.count("{") == dot.count("}")

@@ -1,0 +1,146 @@
+"""Cross-engine equivalence: every engine == the set-based reference.
+
+This is the library's central correctness property: naive, jumping,
+memoized, optimized, hybrid and the step-wise baseline must all return
+exactly the reference answer, on the paper's fifteen queries over XMark
+documents and on hypothesis-random documents x random fragment queries.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.stepwise import stepwise_evaluate
+from repro.counters import EvalStats
+from repro.engine import jumping, memo, naive, optimized
+from repro.engine.hybrid import hybrid_evaluate
+from repro.index.jumping import TreeIndex
+from repro.xmark.queries import QUERIES
+from repro.xpath.compiler import compile_xpath
+from repro.xpath.parser import parse_xpath
+from repro.xpath.reference import evaluate_reference
+
+from strategies import binary_trees, xpath_queries
+
+ENGINES = {
+    "naive": naive.evaluate,
+    "jumping": jumping.evaluate,
+    "memo": memo.evaluate,
+    "optimized": optimized.evaluate,
+}
+
+
+class TestPaperQueriesOnXMark:
+    @pytest.mark.parametrize("qid", sorted(QUERIES))
+    def test_all_engines_match_reference(self, qid, xmark_index):
+        query = QUERIES[qid]
+        tree = xmark_index.tree
+        expected = evaluate_reference(tree, parse_xpath(query))
+        asta = compile_xpath(query)
+        for name, evaluate in ENGINES.items():
+            accepted, selected = evaluate(asta, xmark_index)
+            assert selected == expected, f"{name} disagrees on {qid}"
+            assert accepted == bool(expected) or qid == "Q10"
+        assert stepwise_evaluate(query, xmark_index) == expected
+        assert hybrid_evaluate(query, xmark_index)[1] == expected
+
+    def test_acceptance_flag_consistent_across_engines(self, xmark_index):
+        for qid, query in QUERIES.items():
+            asta = compile_xpath(query)
+            flags = {
+                name: evaluate(asta, xmark_index)[0]
+                for name, evaluate in ENGINES.items()
+            }
+            assert len(set(flags.values())) == 1, f"{qid}: {flags}"
+
+
+class TestJumpingNeverVisitsMore:
+    @pytest.mark.parametrize("qid", sorted(QUERIES))
+    def test_visit_counts_ordered(self, qid, xmark_index):
+        asta = compile_xpath(QUERIES[qid])
+        counts = {}
+        for name, evaluate in ENGINES.items():
+            stats = EvalStats()
+            evaluate(asta, xmark_index, stats)
+            counts[name] = stats.visited
+        assert counts["jumping"] <= counts["naive"]
+        assert counts["optimized"] <= counts["memo"]
+        # memoization does not change the traversal
+        assert counts["memo"] == counts["naive"]
+
+
+class TestRandomDocumentsRandomQueries:
+    @given(binary_trees(max_depth=4, max_children=4), xpath_queries())
+    @settings(max_examples=120, deadline=None)
+    def test_engines_match_reference(self, tree, query):
+        path = parse_xpath(query)
+        expected = evaluate_reference(tree, path)
+        index = TreeIndex(tree)
+        asta = compile_xpath(path)
+        for name, evaluate in ENGINES.items():
+            _, selected = evaluate(asta, index)
+            assert selected == expected, (
+                f"{name} disagrees on {query}: {selected} != {expected}"
+            )
+        assert stepwise_evaluate(path, index) == expected
+        assert hybrid_evaluate(path, index)[1] == expected
+
+    @given(binary_trees(max_depth=3, max_children=3), xpath_queries(pred_depth=2))
+    @settings(max_examples=80, deadline=None)
+    def test_deep_predicates_match(self, tree, query):
+        path = parse_xpath(query)
+        expected = evaluate_reference(tree, path)
+        index = TreeIndex(tree)
+        asta = compile_xpath(path)
+        _, selected = optimized.evaluate(asta, index)
+        assert selected == expected
+
+
+class TestDeepAndWideDocuments:
+    def test_wide_sibling_chain_no_recursion_limit(self):
+        from repro.tree.binary import BinaryTree
+
+        tree = BinaryTree.from_xml("<r>" + "<a><b/></a>" * 20_000 + "</r>")
+        index = TreeIndex(tree)
+        asta = compile_xpath("//a/b")
+        for name, evaluate in ENGINES.items():
+            _, selected = evaluate(asta, index)
+            assert len(selected) == 20_000, name
+
+    def test_deep_nesting_no_recursion_limit(self):
+        from repro.tree.binary import BinaryTree
+
+        depth = 5_000
+        xml = "<a>" * depth + "</a>" * depth
+        tree = BinaryTree.from_xml(xml)
+        index = TreeIndex(tree)
+        asta = compile_xpath("//a[a]")
+        _, selected = optimized.evaluate(asta, index)
+        assert len(selected) == depth - 1
+
+
+class TestXPathMarkASeries:
+    """The XPathMark A-queries (the family Q01-Q09 come from)."""
+
+    @pytest.mark.parametrize("aid", sorted(__import__(
+        "repro.xmark.queries", fromlist=["XPATHMARK_A"]).XPATHMARK_A))
+    def test_engines_agree(self, aid, xmark_index):
+        from repro.xmark.queries import XPATHMARK_A
+
+        query = XPATHMARK_A[aid]
+        expected = evaluate_reference(xmark_index.tree, parse_xpath(query))
+        asta = compile_xpath(query)
+        for name, evaluate in ENGINES.items():
+            assert evaluate(asta, xmark_index)[1] == expected, (aid, name)
+        assert stepwise_evaluate(query, xmark_index) == expected
+        assert hybrid_evaluate(query, xmark_index)[1] == expected
+
+    def test_a_queries_nonempty(self, xmark_index):
+        from repro.engine import optimized
+        from repro.xmark.queries import XPATHMARK_A
+
+        empty = []
+        for aid, q in XPATHMARK_A.items():
+            _, sel = optimized.evaluate(compile_xpath(q), xmark_index)
+            if not sel:
+                empty.append(aid)
+        assert empty == []

@@ -1,0 +1,118 @@
+"""Transition formulas: constructors, closed/partial evaluation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asta.formula import (
+    FALSE,
+    TRUE,
+    accepts_spontaneously,
+    down,
+    down_states,
+    eval_closed,
+    fand,
+    fnot,
+    for_,
+    formula_str,
+    partial_eval,
+    pending_down2,
+)
+
+STATES = ("p", "q", "r")
+
+
+@st.composite
+def formulas(draw, depth: int = 3):
+    kind = draw(st.integers(0, 5 if depth > 0 else 2))
+    if kind == 0:
+        return TRUE
+    if kind == 1:
+        return FALSE
+    if kind == 2:
+        return down(draw(st.integers(1, 2)), draw(st.sampled_from(STATES)))
+    if kind == 3:
+        return fnot(draw(formulas(depth=depth - 1)))
+    sub1 = draw(formulas(depth=depth - 1))
+    sub2 = draw(formulas(depth=depth - 1))
+    return fand(sub1, sub2) if kind == 4 else for_(sub1, sub2)
+
+
+class TestConstructors:
+    def test_units(self):
+        assert fand() == TRUE
+        assert for_() == FALSE
+        assert fand(TRUE, TRUE) == TRUE
+        assert for_(FALSE, FALSE) == FALSE
+
+    def test_absorption(self):
+        d = down(1, "q")
+        assert fand(d, FALSE) == FALSE
+        assert for_(d, TRUE) == TRUE
+        assert fand(d, TRUE) == d
+        assert for_(d, FALSE) == d
+
+    def test_not_simplifies(self):
+        assert fnot(TRUE) == FALSE
+        assert fnot(FALSE) == TRUE
+        d = down(2, "q")
+        assert fnot(fnot(d)) == d
+
+    def test_down_validates_side(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            down(3, "q")
+
+    def test_formula_str(self):
+        f = fand(down(1, "q"), fnot(down(2, "p")))
+        s = formula_str(f)
+        assert "↓1 q" in s and "¬" in s and "∧" in s
+
+
+class TestDownStates:
+    def test_collects_both_sides(self):
+        f = fand(down(1, "p"), for_(down(2, "q"), fnot(down(2, "r"))))
+        assert down_states(f) == {(1, "p"), (2, "q"), (2, "r")}
+        assert down_states(f, side=1) == {"p"}
+        assert down_states(f, side=2) == {"q", "r"}
+
+
+class TestEvaluation:
+    def test_closed_evaluation(self):
+        f = fand(down(1, "p"), fnot(down(2, "q")))
+        assert eval_closed(f, frozenset({"p"}), frozenset())
+        assert not eval_closed(f, frozenset({"p"}), frozenset({"q"}))
+        assert not eval_closed(f, frozenset(), frozenset())
+
+    def test_spontaneous_acceptance(self):
+        assert accepts_spontaneously(TRUE)
+        assert accepts_spontaneously(fnot(down(1, "q")))
+        assert not accepts_spontaneously(down(1, "q"))
+        assert not accepts_spontaneously(fand(TRUE, down(2, "q")))
+
+    @given(formulas(), st.frozensets(st.sampled_from(STATES)), st.frozensets(st.sampled_from(STATES)))
+    @settings(max_examples=100)
+    def test_partial_eval_sound_wrt_closed(self, f, acc1, acc2):
+        """Kleene partial evaluation never contradicts the closed truth."""
+        pe = partial_eval(f, acc1)
+        if pe != -1:
+            assert bool(pe) == eval_closed(f, acc1, acc2)
+
+    @given(formulas(), st.frozensets(st.sampled_from(STATES)))
+    @settings(max_examples=100)
+    def test_pending_down2_covers_truth_relevant_states(self, f, acc1):
+        """Removing all non-pending ↓2 states cannot change the truth."""
+        pending = pending_down2(f, acc1)
+        all2 = down_states(f, side=2)
+        for acc2 in (frozenset(), all2, pending):
+            truth_full = eval_closed(f, acc1, acc2 & all2)
+            truth_restricted = eval_closed(f, acc1, acc2 & pending)
+            if acc2 == pending or acc2 == frozenset():
+                assert truth_full == truth_restricted
+
+    @given(formulas(), st.frozensets(st.sampled_from(STATES)), st.frozensets(st.sampled_from(STATES)))
+    @settings(max_examples=120)
+    def test_pending_restriction_preserves_truth(self, f, acc1, acc2):
+        """Truth with acc2 equals truth with acc2 ∩ pending states."""
+        pending = pending_down2(f, acc1)
+        assert eval_closed(f, acc1, acc2) == eval_closed(f, acc1, acc2 & pending)

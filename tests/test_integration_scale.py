@@ -1,0 +1,50 @@
+"""Medium-scale integration pass: all engines on a ~20k-node XMark doc.
+
+The unit suite runs at scale 0.12; this module is the one place where the
+whole stack (parser -> generator -> index -> four ASTA engines -> hybrid
+-> deterministic -> stepwise -> mixed) is exercised on a document big
+enough for jump chains, memo tables and staircase pruning to matter.
+"""
+
+import pytest
+
+from repro.baselines.stepwise import stepwise_evaluate
+from repro.engine import deterministic, hybrid, jumping, memo, naive, optimized
+from repro.index.jumping import TreeIndex
+from repro.xmark.generator import XMarkGenerator
+from repro.xmark.queries import QUERIES
+from repro.xpath.compiler import compile_xpath
+from repro.xpath.parser import parse_xpath
+from repro.xpath.reference import evaluate_reference
+
+
+@pytest.fixture(scope="module")
+def index():
+    return TreeIndex(XMarkGenerator(scale=0.6, seed=2026).tree())
+
+
+@pytest.mark.parametrize("qid", sorted(QUERIES))
+def test_all_engines_at_scale(qid, index):
+    query = QUERIES[qid]
+    path = parse_xpath(query)
+    expected = evaluate_reference(index.tree, path)
+    asta = compile_xpath(path)
+    assert naive.evaluate(asta, index)[1] == expected
+    assert jumping.evaluate(asta, index)[1] == expected
+    assert memo.evaluate(asta, index)[1] == expected
+    assert optimized.evaluate(asta, index)[1] == expected
+    assert hybrid.hybrid_evaluate(path, index)[1] == expected
+    assert stepwise_evaluate(path, index) == expected
+
+
+def test_deterministic_and_mixed_at_scale(index):
+    from repro.engine.mixed import mixed_evaluate
+
+    for query in ("//listitem//keyword", "/site/regions/europe/item",
+                  "//keyword/ancestor::listitem", "//mail/../../name"):
+        path = parse_xpath(query)
+        expected = evaluate_reference(index.tree, path)
+        if path.has_backward_axes():
+            assert mixed_evaluate(path, index)[1] == expected
+        else:
+            assert deterministic.evaluate(path, index)[1] == expected

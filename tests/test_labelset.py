@@ -1,0 +1,98 @@
+"""LabelSet algebra: unit tests plus set-theoretic laws via hypothesis."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.labelset import ANY, LabelSet
+
+from strategies import label_sets, LABELS
+
+PROBES = list(LABELS) + ["zz-not-mentioned"]
+
+
+def semantics(ls: LabelSet) -> frozenset:
+    """Concrete membership over the probe universe."""
+    return frozenset(p for p in PROBES if ls.contains(p))
+
+
+class TestBasics:
+    def test_finite_membership(self):
+        ls = LabelSet.of("a", "b")
+        assert ls.contains("a") and "b" in ls
+        assert not ls.contains("c")
+        assert ls.is_finite() and not ls.is_empty() and not ls.is_any()
+
+    def test_cofinite_membership(self):
+        ls = LabelSet.not_of("a")
+        assert not ls.contains("a")
+        assert ls.contains("anything-else")
+        assert not ls.is_finite()
+
+    def test_any_and_empty(self):
+        assert ANY.is_any()
+        assert ANY.contains("x")
+        assert LabelSet.empty().is_empty()
+        assert not LabelSet.empty().contains("x")
+
+    def test_equality_and_hash(self):
+        assert LabelSet.of("a") == LabelSet.of("a")
+        assert LabelSet.of("a") != LabelSet.not_of("a")
+        assert hash(LabelSet.of("a", "b")) == hash(LabelSet.of("b", "a"))
+
+    def test_repr(self):
+        assert repr(LabelSet.of("a")) == "{a}"
+        assert repr(LabelSet.not_of("a")) == "Σ\\{a}"
+        assert repr(ANY) == "Σ"
+
+    def test_positive_ids(self):
+        from repro.tree.binary import BinaryTree
+
+        tree = BinaryTree.from_spec(("a", "b"))
+        assert sorted(LabelSet.of("a", "b").positive_ids(tree)) == [0, 1]
+        assert LabelSet.of("zzz").positive_ids(tree) == []
+        assert LabelSet.not_of("a").positive_ids(tree) is None
+
+    def test_sample_labels(self):
+        ls = LabelSet.of("a", "c")
+        assert sorted(ls.sample_labels(LABELS)) == ["a", "c"]
+
+
+class TestAlgebraLaws:
+    @given(label_sets(), label_sets())
+    @settings(max_examples=80)
+    def test_union_semantics(self, x, y):
+        assert semantics(x.union(y)) == semantics(x) | semantics(y)
+
+    @given(label_sets(), label_sets())
+    @settings(max_examples=80)
+    def test_intersection_semantics(self, x, y):
+        assert semantics(x.intersection(y)) == semantics(x) & semantics(y)
+
+    @given(label_sets(), label_sets())
+    @settings(max_examples=80)
+    def test_difference_semantics(self, x, y):
+        assert semantics(x.difference(y)) == semantics(x) - semantics(y)
+
+    @given(label_sets())
+    @settings(max_examples=40)
+    def test_complement_involution(self, x):
+        assert x.complement().complement() == x
+
+    @given(label_sets())
+    @settings(max_examples=40)
+    def test_complement_semantics(self, x):
+        assert semantics(x.complement()) == frozenset(PROBES) - semantics(x)
+
+    @given(label_sets(), label_sets())
+    @settings(max_examples=40)
+    def test_overlaps_agrees_with_intersection(self, x, y):
+        # overlaps is defined on the full (infinite) universe, so it may be
+        # true even when the finite probe set shows no common member --
+        # but a non-empty probed intersection must imply overlaps.
+        if semantics(x) & semantics(y):
+            assert x.overlaps(y)
+
+    @given(label_sets())
+    @settings(max_examples=40)
+    def test_empty_is_identity_for_union(self, x):
+        assert x.union(LabelSet.empty()) == x

@@ -1,0 +1,122 @@
+"""Hat-encoding STA <-> recognizer (Appendix A.1, Lemmas A.1-A.3)."""
+
+from hypothesis import given, settings
+
+from repro.automata.examples import sta_desc_a_desc_b, sta_dtd_root_a
+from repro.automata.recognizer import (
+    decode_recognizer,
+    encode_recognizer,
+    hat,
+    is_hatted,
+    unhat,
+)
+from repro.tree.binary import BinaryTree
+from repro.tree.document import XMLDocument, XMLNode
+
+from strategies import binary_trees
+
+
+def hatted_variant(tree: BinaryTree, marked: set) -> BinaryTree:
+    """Copy of ``tree`` with the labels of ``marked`` nodes hatted."""
+
+    def rebuild(v: int) -> XMLNode:
+        label = tree.label(v)
+        node = XMLNode(hat(label) if v in marked else label)
+        for c in tree.children(v):
+            node.append(rebuild(c))
+        return node
+
+    return BinaryTree.from_document(XMLDocument(rebuild(0)))
+
+
+class TestHatHelpers:
+    def test_hat_roundtrip(self):
+        assert unhat(hat("a")) == "a"
+        assert is_hatted(hat("a"))
+        assert not is_hatted("a")
+        assert unhat("a") == "a"
+
+
+class TestEncoding:
+    def test_encoder_produces_pure_recognizer(self):
+        rec = encode_recognizer(sta_desc_a_desc_b())
+        assert rec.selecting == {}
+
+    @given(binary_trees(labels=("a", "b", "c")))
+    @settings(max_examples=50)
+    def test_lemma_a1_direction_1(self, tree):
+        """t ∈ L(A) with selection A(t) => hatted variant ∈ L(Â)."""
+        sta = sta_desc_a_desc_b()
+        rec = encode_recognizer(sta)
+        if not sta.accepts(tree):
+            return
+        selected = set(sta.selected_nodes(tree))
+        assert rec.accepts(hatted_variant(tree, selected))
+
+    @given(binary_trees(labels=("a", "b", "c")))
+    @settings(max_examples=50)
+    def test_wrongly_hatted_trees_rejected(self, tree):
+        """Hatting a non-selected node must leave L(Â)."""
+        sta = sta_desc_a_desc_b()
+        rec = encode_recognizer(sta)
+        selected = set(sta.selected_nodes(tree))
+        for v in range(tree.n):
+            if v in selected:
+                continue
+            variant = hatted_variant(tree, selected | {v})
+            assert not rec.accepts(variant)
+            break  # one witness per example keeps the test fast
+
+    @given(binary_trees(labels=("a", "b", "c")))
+    @settings(max_examples=50)
+    def test_unhatted_tree_acceptance_tracks_selection_freedom(self, tree):
+        """A tree with NO hats is accepted by Â iff A has an accepting run
+        selecting nothing -- for Example 2.1 that is: accepted and no b
+        under an a (since its unique run must select every such b)."""
+        sta = sta_desc_a_desc_b()
+        rec = encode_recognizer(sta)
+        expected = sta.accepts(tree) and not sta.selected_nodes(tree)
+        assert rec.accepts(tree) == expected
+
+
+class TestDecoding:
+    @given(binary_trees(labels=("a", "b", "c")))
+    @settings(max_examples=50)
+    def test_decode_inverts_encode(self, tree):
+        sta = sta_desc_a_desc_b()
+        back = decode_recognizer(encode_recognizer(sta))
+        assert back.selected_nodes(tree) == sta.selected_nodes(tree)
+        assert back.accepts(tree) == sta.accepts(tree)
+
+    def test_decode_recognizer_without_hats_is_identity_like(self):
+        rec = sta_dtd_root_a()
+        back = decode_recognizer(rec)
+        assert back.selecting == {}
+        assert len(back.transitions) == len(rec.transitions)
+
+
+class TestSelectingUnambiguity:
+    """Lemma A.2: Â is selecting-unambiguous (empirically checked)."""
+
+    def test_no_violations_on_sample_trees(self):
+        from repro.automata.recognizer import selecting_unambiguous_violations
+
+        rec = encode_recognizer(sta_desc_a_desc_b())
+        trees = [
+            BinaryTree.from_spec(spec)
+            for spec in (
+                ("a", "b"),
+                ("r", ("a", "b", "c")),
+                ("a", ("b", "b")),
+                "c",
+            )
+        ]
+        assert selecting_unambiguous_violations(rec, trees) == []
+
+    @given(binary_trees(labels=("a", "b", "c"), max_depth=3, max_children=3))
+    @settings(max_examples=30, deadline=None)
+    def test_no_violations_random(self, tree):
+        from repro.automata.recognizer import selecting_unambiguous_violations
+
+        rec = encode_recognizer(sta_desc_a_desc_b())
+        assert selecting_unambiguous_violations(rec, [tree]) == []

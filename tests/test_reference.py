@@ -1,0 +1,97 @@
+"""The set-based reference evaluator on hand-checked documents."""
+
+import pytest
+
+from repro.tree.binary import BinaryTree
+from repro.xpath.parser import parse_xpath
+from repro.xpath.reference import eval_path_from, evaluate_reference
+
+
+@pytest.fixture(scope="module")
+def tree():
+    #  0 site
+    #    1 a
+    #      2 x    3 b    4 c
+    #                      5 b
+    #    6 b
+    #      7 a
+    #        8 b
+    return BinaryTree.from_xml(
+        "<site><a><x/><b/><c><b/></c></a><b><a><b/></a></b></site>"
+    )
+
+
+def q(tree, text):
+    return evaluate_reference(tree, parse_xpath(text))
+
+
+class TestAxes:
+    def test_root_match(self, tree):
+        assert q(tree, "/site") == [0]
+        assert q(tree, "/nope") == []
+
+    def test_child_chain(self, tree):
+        assert q(tree, "/site/a") == [1]
+        assert q(tree, "/site/a/b") == [3]
+
+    def test_descendant_from_root_includes_root(self, tree):
+        assert q(tree, "//site") == [0]
+
+    def test_descendant(self, tree):
+        assert q(tree, "//b") == [3, 5, 6, 8]
+        assert q(tree, "//a//b") == [3, 5, 8]
+
+    def test_descendant_under_child(self, tree):
+        assert q(tree, "/site/a//b") == [3, 5]
+
+    def test_wildcard(self, tree):
+        assert q(tree, "/site/*") == [1, 6]
+
+    def test_following_sibling(self, tree):
+        assert q(tree, "/site/a/x/following-sibling::b") == [3]
+        assert q(tree, "/site/a/x/following-sibling::*") == [3, 4]
+
+    def test_results_sorted_and_unique(self, tree):
+        # both a's contain b's; b id 8 reachable through two a-paths
+        assert q(tree, "//a//b//a//b") == []
+        assert q(tree, "//b") == sorted(set(q(tree, "//b")))
+
+
+class TestPredicates:
+    def test_child_existence(self, tree):
+        assert q(tree, "//a[x]") == [1]
+        assert q(tree, "//a[b]") == [1, 7]
+
+    def test_descendant_existence(self, tree):
+        assert q(tree, "//a[.//b]") == [1, 7]
+
+    def test_and_or(self, tree):
+        assert q(tree, "//a[x and b]") == [1]
+        assert q(tree, "//a[x or zz]") == [1]
+
+    def test_not(self, tree):
+        assert q(tree, "//a[not(x)]") == [7]
+
+    def test_nested_path_predicate(self, tree):
+        assert q(tree, "//a[c/b]") == [1]
+
+    def test_dot_predicate_always_true(self, tree):
+        assert q(tree, "//a[.]") == q(tree, "//a")
+
+
+class TestRelativeEvaluation:
+    def test_eval_from_context(self, tree):
+        path = parse_xpath("b")
+        assert eval_path_from(tree, path, [1]) == [3]
+
+    def test_eval_relative_descendant(self, tree):
+        path = parse_xpath(".//b")
+        assert eval_path_from(tree, path, [1]) == [3, 5]
+
+    def test_absolute_needs_no_context(self, tree):
+        path = parse_xpath("/site")
+        assert eval_path_from(tree, path, [4]) == [0]
+
+    def test_relative_requires_context(self, tree):
+        with pytest.raises(ValueError):
+            evaluate_reference(tree, parse_xpath("a/b"))

@@ -1,0 +1,122 @@
+"""STA structure and reference semantics (Section 2)."""
+
+import pytest
+
+from repro.automata.examples import sta_a_with_b_below, sta_desc_a_desc_b, sta_dtd_root_a
+from repro.automata.labelset import ANY, LabelSet
+from repro.automata.sta import STA, Transition
+from repro.tree.binary import BinaryTree
+
+
+def tree(spec):
+    return BinaryTree.from_spec(spec)
+
+
+class TestStructure:
+    def test_validation_rejects_unknown_states(self):
+        with pytest.raises(ValueError):
+            STA(["q"], ["q"], ["nope"], {}, [])
+        with pytest.raises(ValueError):
+            STA(["q"], ["q"], ["q"], {}, [Transition("q", ANY, "q", "zz")])
+
+    def test_dest_and_source(self):
+        sta = sta_desc_a_desc_b()
+        assert sta.dest("q0", "a") == [("q1", "q0")]
+        assert sta.dest("q0", "c") == [("q0", "q0")]
+        assert sta.source("q1", "q0", "a") == ["q0"]
+
+    def test_selects(self):
+        sta = sta_desc_a_desc_b()
+        assert sta.selects("q1", "b")
+        assert not sta.selects("q1", "a")
+        assert not sta.selects("q0", "b")
+
+    def test_alphabet_sample_has_fresh_witness(self):
+        sta = sta_desc_a_desc_b()
+        sample = sta.alphabet_sample()
+        assert "a" in sample and "b" in sample
+        assert sample[-1] not in ("a", "b")
+
+    def test_determinism_classification(self):
+        td = sta_desc_a_desc_b()
+        assert td.is_topdown_deterministic()
+        assert td.is_topdown_complete()
+        assert not td.is_bottomup_deterministic()  # |B| = 2
+        bu = sta_a_with_b_below()
+        assert bu.is_bottomup_deterministic()
+        assert bu.is_bottomup_complete()
+
+    def test_non_changing_states(self):
+        rec = sta_dtd_root_a()
+        assert rec.is_non_changing("qT")
+        assert rec.is_non_changing("qS")
+        assert not rec.is_non_changing("q0")
+        assert rec.is_topdown_universal("qT")
+        assert rec.is_topdown_sink("qS")
+
+    def test_restrict_drops_unreachable(self):
+        sta = sta_desc_a_desc_b()
+        sub = sta.restrict("q1")
+        assert set(sub.states) == {"q1"}
+        assert sub.top == {"q1"}
+
+
+class TestSemantics:
+    def test_example21_selects_b_descendants_of_a(self):
+        sta = sta_desc_a_desc_b()
+        t = tree(("r", ("a", "b", ("c", "b")), "b"))
+        # nodes: 0 r, 1 a, 2 b, 3 c, 4 b, 5 b; selected: b's under the a.
+        assert sta.selected_nodes(t) == [2, 4]
+
+    def test_example21_accepts_everything(self):
+        sta = sta_desc_a_desc_b()
+        assert sta.accepts(tree("x"))
+        assert sta.accepts(tree(("a", "b")))
+
+    def test_example21_no_a_no_selection(self):
+        sta = sta_desc_a_desc_b()
+        assert sta.selected_nodes(tree(("r", "b", "b"))) == []
+
+    def test_b_not_under_a_not_selected(self):
+        sta = sta_desc_a_desc_b()
+        # b as following sibling of a, not descendant.
+        assert sta.selected_nodes(tree(("r", "a", "b"))) == []
+
+    def test_bdsta_example_selects_a_with_b_below(self):
+        sta = sta_a_with_b_below()
+        t = tree(("r", ("a", ("c", "b")), ("a", "c"), "b"))
+        # first a (id 1) has a b descendant; second a (id 4) does not; the
+        # trailing b (id 6) is not below any a.
+        assert sta.selected_nodes(t) == [1]
+
+    def test_bdsta_example_accepts_all(self):
+        sta = sta_a_with_b_below()
+        for spec in ("x", ("a", "b"), ("b", "a"), ("r", "a", "b")):
+            assert sta.accepts(tree(spec))
+
+    def test_dtd_recognizer(self):
+        rec = sta_dtd_root_a()
+        assert rec.accepts(tree(("a", "b", ("c", "d"))))
+        assert rec.accepts(tree("a"))
+        assert not rec.accepts(tree(("b", "a")))
+        assert rec.selected_nodes(tree(("a", "b"))) == []
+
+    def test_deterministic_topdown_run_matches_oracle(self):
+        sta = sta_desc_a_desc_b()
+        t = tree(("r", ("a", "b"), "c"))
+        run = sta.deterministic_topdown_run(t)
+        reach = sta.useful_states(t)
+        for v in range(t.n):
+            assert run[v] in reach[v]
+
+    def test_deterministic_run_rejects(self):
+        rec = sta_dtd_root_a()
+        assert rec.deterministic_topdown_run(tree(("b", "a"))) is None
+
+    def test_rename_merges_states(self):
+        sta = sta_desc_a_desc_b()
+        merged = sta.rename({"q1": "q0"})
+        assert set(merged.states) == {"q0"}
+        # Renaming q1 into q0 changes the language of selections -- this is
+        # purely a structural operation used by minimization internals.
+        assert len(merged.transitions) <= len(sta.transitions)

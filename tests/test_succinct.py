@@ -1,0 +1,116 @@
+"""Succinct tree: operations must agree with the pointer BinaryTree."""
+
+from hypothesis import given, settings
+
+from repro.index.succinct import SuccinctTree
+from repro.tree.binary import NIL, BinaryTree
+from repro.tree.parser import parse_xml
+
+from strategies import binary_trees
+
+
+def both(xml: str):
+    tree = BinaryTree.from_xml(xml)
+    return tree, SuccinctTree.from_binary(tree)
+
+
+class TestSmall:
+    def test_single_node(self):
+        tree, succ = both("<a/>")
+        assert succ.n == 1
+        assert succ.label(0) == "a"
+        assert succ.first_child(0) == NIL
+        assert succ.next_sibling(0) == NIL
+        assert succ.parent(0) == NIL
+        assert succ.subtree_size(0) == 1
+
+    def test_basic_navigation(self):
+        tree, succ = both("<a><b/><c><e/></c><d/></a>")
+        assert succ.first_child(0) == 1
+        assert succ.next_sibling(1) == 2
+        assert succ.first_child(2) == 3
+        assert succ.next_sibling(2) == 4
+        assert succ.parent(3) == 2
+        assert succ.parent(1) == 0
+        assert succ.subtree_size(0) == 5
+        assert succ.subtree_size(2) == 2
+        assert succ.xml_end(2) == 4
+
+    def test_findclose_enclose(self):
+        _, succ = both("<a><b/><c/></a>")  # ( ( ) ( ) )
+        assert succ.findclose(0) == 5
+        assert succ.findclose(1) == 2
+        assert succ.enclose(1) == 0
+        assert succ.enclose(3) == 0
+        assert succ.enclose(0) == -1
+
+    def test_from_document_matches_from_binary(self):
+        doc = parse_xml("<a><b><c/></b><d/></a>")
+        tree = BinaryTree.from_document(doc)
+        s1 = SuccinctTree.from_document(doc)
+        s2 = SuccinctTree.from_binary(tree)
+        for v in range(tree.n):
+            assert s1.label(v) == s2.label(v)
+            assert s1.first_child(v) == s2.first_child(v)
+            assert s1.next_sibling(v) == s2.next_sibling(v)
+
+    def test_memory_accounting_positive(self):
+        tree, succ = both("<a><b/><c/></a>")
+        assert succ.memory_bytes() > 0
+        assert SuccinctTree.pointer_memory_bytes(tree) > succ.memory_bytes()
+
+
+class TestEquivalenceWithPointerTree:
+    @given(binary_trees(max_depth=5, max_children=5))
+    @settings(max_examples=40)
+    def test_all_operations_agree(self, tree: BinaryTree):
+        succ = SuccinctTree.from_binary(tree)
+        assert succ.n == tree.n
+        for v in range(tree.n):
+            assert succ.label(v) == tree.label(v)
+            assert succ.first_child(v) == tree.left[v]
+            assert succ.next_sibling(v) == tree.right[v]
+            assert succ.parent(v) == tree.parent[v]
+            assert succ.xml_end(v) == tree.xml_end[v]
+            assert succ.is_leaf(v) == (tree.left[v] == NIL)
+
+    def test_large_flat_tree_crosses_blocks(self):
+        # 2000 children: BP sequence of 4002 bits spans many 256-bit blocks.
+        tree = BinaryTree.from_xml("<r>" + "<x/>" * 2000 + "</r>")
+        succ = SuccinctTree.from_binary(tree)
+        assert succ.findclose(0) == 2 * tree.n - 1
+        assert succ.parent(1500) == 0
+        assert succ.next_sibling(1) == 2
+        assert succ.subtree_size(0) == tree.n
+
+    def test_deep_tree_crosses_blocks(self):
+        depth = 1500
+        xml = "".join(f"<n{i}>" for i in range(depth)) + "".join(
+            f"</n{i}>" for i in reversed(range(depth))
+        )
+        tree = BinaryTree.from_xml(xml)
+        succ = SuccinctTree.from_binary(tree)
+        assert succ.parent(depth - 1) == depth - 2
+        assert succ.subtree_size(0) == depth
+        assert succ.findclose(0) == 2 * depth - 1
+
+
+class TestRoundTrip:
+    def test_to_binary_reconstructs_pointers(self):
+        tree = BinaryTree.from_xml("<a><b><c/></b><d><e/><f/></d></a>")
+        back = SuccinctTree.from_binary(tree).to_binary()
+        assert back.left == tree.left
+        assert back.right == tree.right
+        assert back.parent == tree.parent
+        assert back.xml_end == tree.xml_end
+        assert back.labels == tree.labels
+
+    def test_queries_over_succinct_backend(self):
+        from repro.engine.api import Engine
+        from repro.xmark.generator import XMarkGenerator
+
+        doc = XMarkGenerator(scale=0.05, seed=9).document()
+        direct = Engine(doc)
+        via_succinct = Engine(SuccinctTree.from_document(doc).to_binary())
+        for query in ("//keyword", "/site/regions", "//listitem//keyword"):
+            assert via_succinct.select(query) == direct.select(query)

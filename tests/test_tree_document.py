@@ -1,0 +1,64 @@
+"""Unit tests for the XMLNode/XMLDocument model."""
+
+from repro.tree.document import XMLDocument, XMLNode
+
+
+def build_sample() -> XMLDocument:
+    root = XMLNode("site")
+    a = root.new_child("a")
+    a.new_child("x")
+    b = a.new_child("b")
+    root.new_child("b")
+    return XMLDocument(root)
+
+
+class TestXMLNode:
+    def test_append_sets_parent(self):
+        parent = XMLNode("p")
+        child = XMLNode("c")
+        assert parent.append(child) is child
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_new_child_with_attributes(self):
+        parent = XMLNode("p")
+        child = parent.new_child("c", x="1", y="2")
+        assert child.attributes == {"x": "1", "y": "2"}
+
+    def test_preorder_is_document_order(self):
+        doc = build_sample()
+        labels = [n.label for n in doc.preorder()]
+        assert labels == ["site", "a", "x", "b", "b"]
+
+    def test_descendants_excludes_self(self):
+        doc = build_sample()
+        labels = [n.label for n in doc.root.descendants()]
+        assert labels == ["a", "x", "b", "b"]
+
+    def test_size(self):
+        assert build_sample().size() == 5
+
+    def test_depth_of_leaf_is_one(self):
+        assert XMLNode("x").depth() == 1
+
+    def test_depth_nested(self):
+        assert build_sample().root.depth() == 3
+
+    def test_find_all(self):
+        doc = build_sample()
+        assert [n.label for n in doc.root.find_all("b")] == ["b", "b"]
+        assert doc.root.find_all("missing") == []
+
+    def test_repr_mentions_label(self):
+        assert "site" in repr(XMLNode("site"))
+
+
+class TestXMLDocument:
+    def test_label_counts(self):
+        counts = build_sample().label_counts()
+        assert counts == {"site": 1, "a": 1, "x": 1, "b": 2}
+
+    def test_repr(self):
+        doc = build_sample()
+        assert "site" in repr(doc)
+        assert "5" in repr(doc)

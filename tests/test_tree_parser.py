@@ -1,0 +1,117 @@
+"""Unit tests for the dependency-free XML parser."""
+
+import pytest
+
+from repro.tree.parser import XMLSyntaxError, parse_xml
+
+
+class TestBasicParsing:
+    def test_single_empty_element(self):
+        doc = parse_xml("<a/>")
+        assert doc.root.label == "a"
+        assert doc.root.children == []
+
+    def test_open_close(self):
+        doc = parse_xml("<a></a>")
+        assert doc.root.label == "a"
+
+    def test_nested_elements(self):
+        doc = parse_xml("<a><b><c/></b><d/></a>")
+        assert [c.label for c in doc.root.children] == ["b", "d"]
+        assert doc.root.children[0].children[0].label == "c"
+
+    def test_attributes(self):
+        doc = parse_xml('<a x="1" y=\'two\'/>')
+        assert doc.root.attributes == {"x": "1", "y": "two"}
+
+    def test_text_content(self):
+        doc = parse_xml("<a>hello world</a>")
+        assert doc.root.text == "hello world"
+
+    def test_mixed_content_text_collected(self):
+        doc = parse_xml("<a>pre<b/>post</a>")
+        assert doc.root.text == "prepost"
+        assert doc.root.children[0].label == "b"
+
+    def test_whitespace_between_elements(self):
+        doc = parse_xml("<a>\n  <b/>\n  <c/>\n</a>")
+        assert [c.label for c in doc.root.children] == ["b", "c"]
+
+    def test_names_with_punctuation(self):
+        doc = parse_xml("<closed_auction><ns:item/></closed_auction>")
+        assert doc.root.children[0].label == "ns:item"
+
+
+class TestEntitiesAndSections:
+    def test_standard_entities(self):
+        doc = parse_xml("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert doc.root.text == "<>&'\""
+
+    def test_numeric_entities(self):
+        doc = parse_xml("<a>&#65;&#x42;</a>")
+        assert doc.root.text == "AB"
+
+    def test_entities_in_attributes(self):
+        doc = parse_xml('<a x="&amp;b"/>')
+        assert doc.root.attributes["x"] == "&b"
+
+    def test_cdata(self):
+        doc = parse_xml("<a><![CDATA[<not><parsed>&amp;]]></a>")
+        assert doc.root.text == "<not><parsed>&amp;"
+
+    def test_comments_skipped(self):
+        doc = parse_xml("<!-- head --><a><!-- inner --><b/></a><!-- tail -->")
+        assert [c.label for c in doc.root.children] == ["b"]
+
+    def test_processing_instructions_skipped(self):
+        doc = parse_xml("<?xml version='1.0'?><a><?pi data?><b/></a>")
+        assert [c.label for c in doc.root.children] == ["b"]
+
+    def test_doctype_skipped(self):
+        doc = parse_xml("<!DOCTYPE a [<!ELEMENT a ANY>]><a/>")
+        assert doc.root.label == "a"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml("<a>&nope;</a>")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a/><b/>",
+            "<a x=1/>",
+            "<a x='1/>",
+            "< a/>",
+            "<a>text",
+            "<!-- unterminated <a/>",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLSyntaxError) as exc:
+            parse_xml("<a></b>")
+        assert exc.value.position > 0
+
+
+class TestScale:
+    def test_deep_sibling_chain_no_recursion_error(self):
+        text = "<r>" + "<x/>" * 50_000 + "</r>"
+        doc = parse_xml(text)
+        assert len(doc.root.children) == 50_000
+
+    def test_deep_nesting(self):
+        depth = 2_000
+        text = "".join(f"<n{i}>" for i in range(depth)) + "".join(
+            f"</n{i}>" for i in reversed(range(depth))
+        )
+        doc = parse_xml(text)
+        assert doc.size() == depth

@@ -1,0 +1,53 @@
+"""Serialization round-trip tests."""
+
+from hypothesis import given, settings
+
+from repro.tree.binary import BinaryTree
+from repro.tree.parser import parse_xml
+from repro.tree.serialize import to_xml
+
+from strategies import tree_specs
+
+
+class TestSerialize:
+    def test_empty_element(self):
+        assert to_xml(parse_xml("<a/>")) == "<a/>"
+
+    def test_attributes_escaped(self):
+        text = to_xml(parse_xml('<a x="&amp;&quot;1"/>'))
+        assert text == '<a x="&amp;&quot;1"/>'
+
+    def test_text_escaped(self):
+        assert to_xml(parse_xml("<a>&lt;x&gt;&amp;</a>")) == "<a>&lt;x&gt;&amp;</a>"
+
+    def test_nested(self):
+        assert to_xml(parse_xml("<a><b/><c><d/></c></a>")) == "<a><b/><c><d/></c></a>"
+
+    def test_pretty_print_indents(self):
+        text = to_xml(parse_xml("<a><b/></a>"), indent=2)
+        assert text == "<a>\n  <b/>\n</a>\n"
+
+    def test_roundtrip_fixed(self):
+        original = "<site><a x=\"1\"><b/>text</a><c/></site>"
+        doc = parse_xml(original)
+        again = parse_xml(to_xml(doc))
+        assert to_xml(again) == to_xml(doc)
+
+    @given(tree_specs())
+    @settings(max_examples=50)
+    def test_roundtrip_random_structure(self, spec):
+        tree = BinaryTree.from_spec(spec)
+        from repro.tree.document import XMLDocument, XMLNode
+
+        def rebuild(v):
+            node = XMLNode(tree.label(v))
+            for c in tree.children(v):
+                node.append(rebuild(c))
+            return node
+
+        doc = XMLDocument(rebuild(0))
+        reparsed = BinaryTree.from_document(parse_xml(to_xml(doc)))
+        assert [reparsed.label(v) for v in range(reparsed.n)] == [
+            tree.label(v) for v in range(tree.n)
+        ]
+        assert reparsed.parent == tree.parent

@@ -1,0 +1,150 @@
+"""XMark generator and Figure 5 configurations."""
+
+import pytest
+
+from repro.tree.binary import BinaryTree
+from repro.xmark.configs import CONFIG_SPECS, make_config, make_config_tree
+from repro.xmark.generator import XMarkGenerator
+from repro.xmark.queries import HYBRID_QUERY, QUERIES, query
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        a = XMarkGenerator(scale=0.1, seed=3).tree()
+        b = XMarkGenerator(scale=0.1, seed=3).tree()
+        assert a.n == b.n
+        assert a.label_of == b.label_of
+
+    def test_different_seeds_differ(self):
+        a = XMarkGenerator(scale=0.1, seed=3).tree()
+        b = XMarkGenerator(scale=0.1, seed=4).tree()
+        assert a.n != b.n or a.label_of != b.label_of
+
+    def test_scale_grows_roughly_linearly(self):
+        small = XMarkGenerator(scale=0.1, seed=1).tree().n
+        large = XMarkGenerator(scale=0.4, seed=1).tree().n
+        assert 2.5 < large / small < 6
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            XMarkGenerator(scale=0)
+
+    def test_root_is_site_with_sections(self):
+        doc = XMarkGenerator(scale=0.05).document()
+        assert doc.root.label == "site"
+        sections = [c.label for c in doc.root.children]
+        assert sections == [
+            "regions",
+            "categories",
+            "catgraph",
+            "people",
+            "open_auctions",
+            "closed_auctions",
+        ]
+
+    def test_all_query_labels_present(self):
+        hist = XMarkGenerator(scale=0.3, seed=2).tree().label_histogram()
+        for label in (
+            "site", "regions", "europe", "item", "mailbox", "mail", "text",
+            "keyword", "closed_auctions", "closed_auction", "annotation",
+            "description", "parlist", "listitem", "people", "person",
+            "address", "phone", "homepage", "emph",
+        ):
+            assert hist.get(label, 0) > 0, label
+
+    def test_queries_nonempty_at_moderate_scale(self, xmark_index):
+        """Every Figure 2 query should select something (except none)."""
+        from repro.engine import optimized
+        from repro.xpath.compiler import compile_xpath
+
+        empty = []
+        for qid, q in QUERIES.items():
+            _, sel = optimized.evaluate(compile_xpath(q), xmark_index)
+            if not sel:
+                empty.append(qid)
+        assert empty == [], f"queries with empty results: {empty}"
+
+    def test_keyword_emph_nesting_exists(self):
+        tree = XMarkGenerator(scale=0.3, seed=2).tree()
+        nested = [
+            v
+            for v in range(tree.n)
+            if tree.label(v) == "emph" and tree.label(tree.parent[v]) == "keyword"
+        ]
+        assert nested
+
+
+class TestQueries:
+    def test_query_lookup(self):
+        assert query("Q05") == "//listitem//keyword"
+        assert len(QUERIES) == 15
+
+    def test_hybrid_query_is_chain(self):
+        from repro.xpath.parser import parse_xpath
+
+        assert parse_xpath(HYBRID_QUERY).is_descendant_chain()
+
+
+class TestConfigs:
+    @pytest.mark.parametrize("name", sorted(CONFIG_SPECS))
+    def test_structure_at_small_fraction(self, name):
+        spec = CONFIG_SPECS[name]
+        tree = make_config_tree(name, fraction=0.02)
+        hist = tree.label_histogram()
+        assert hist["listitem"] >= 1
+        assert hist.get("keyword", 0) >= 1
+        assert hist.get("emph", 0) == min(spec.emphs, hist.get("emph", spec.emphs))
+
+    def test_config_c_keywords_mostly_outside_listitems(self):
+        tree = make_config_tree("C", fraction=0.05)
+        inside = 0
+        outside = 0
+        for v in range(tree.n):
+            if tree.label(v) != "keyword":
+                continue
+            labels = {tree.label(a) for a in tree.ancestors(v)}
+            if "listitem" in labels:
+                inside += 1
+            else:
+                outside += 1
+        assert inside == 1
+        assert outside > inside
+
+    def test_config_d_single_hot_listitem(self):
+        tree = make_config_tree("D", fraction=0.05)
+        with_kw = set()
+        for v in range(tree.n):
+            if tree.label(v) == "keyword":
+                for a in tree.ancestors(v):
+                    if tree.label(a) == "listitem":
+                        with_kw.add(a)
+        assert len(with_kw) == 1
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError):
+            make_config("Z")
+
+
+class TestSerialization:
+    def test_xml_round_trip(self):
+        from repro.tree.parser import parse_xml
+
+        gen = XMarkGenerator(scale=0.05, seed=6, text_content=True)
+        text = gen.xml()
+        reparsed = BinaryTree.from_document(parse_xml(text))
+        direct = gen.tree()
+        assert reparsed.n == direct.n
+        assert reparsed.label_of == direct.label_of
+
+    def test_text_content_flag(self):
+        doc = XMarkGenerator(scale=0.05, seed=6, text_content=True).document()
+        texts = [n for n in doc.preorder() if n.label == "text" and n.text]
+        assert texts
+
+    def test_text_encoding_end_to_end(self):
+        from repro import Engine
+
+        doc = XMarkGenerator(scale=0.05, seed=6, text_content=True).document()
+        engine = Engine(doc, encode_text=True)
+        assert engine.count("//text/text()") > 0
+        assert engine.count("//keyword[text()]") > 0
