@@ -3,7 +3,7 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import Engine, parse_xml
+from repro import Engine, Workspace, parse_xml, strategy_names
 
 XML = """
 <library>
@@ -17,33 +17,51 @@ XML = """
 </library>
 """
 
+BRANCH_XML = "<library><shelf><book><keyword/></book></shelf></library>"
+
 
 def main() -> None:
     doc = parse_xml(XML)
     engine = Engine(doc)  # default: the fully optimized engine
 
-    print("== basic queries ==")
+    print("== basic queries (the legacy one-liner still works) ==")
     for query in ("//book", "/library/shelf/book", "//book[keyword]",
                   "//shelf//book//keyword", "//book[not(author)]"):
         ids = engine.select(query)
         print(f"{query:32s} -> {len(ids)} nodes  {ids}")
 
     print()
-    print("== what the engine did (//shelf//book//keyword) ==")
-    engine.select("//shelf//book//keyword")
-    stats = engine.last_stats
-    print(f"visited {stats.visited} of {len(engine.tree)} nodes, "
-          f"{stats.jumps} index jumps, {stats.memo_entries} memo entries")
+    print("== prepared queries: parse/compile once, execute many ==")
+    plan = engine.prepare("//shelf//book//keyword")
+    result = plan.execute()  # fresh, immutable stats per execution
+    print(f"resolved strategy: {plan.strategy.name}")
+    print(f"visited {result.stats.visited} of {len(engine.tree)} nodes, "
+          f"{result.stats.jumps} index jumps, "
+          f"{result.stats.memo_entries} memo entries")
+    again = plan.execute()  # no re-parsing, no re-compilation
+    print(f"re-executed: same answer {list(again.ids) == list(result.ids)}, "
+          f"{engine.cache.compilations} compilation(s) total")
+
+    print()
+    print("== a workspace: many documents, one compiled-query cache ==")
+    ws = Workspace()
+    ws.add("main", XML)
+    ws.add("branch", BRANCH_XML)
+    print("select_all('//book') ->", ws.select_all("//book"))
+    print("select_many on 'main' ->",
+          ws.select_many(["//keyword", "//author"], document="main"))
+    print(f"compiled {ws.cache.compilations} automata for "
+          f"{3} distinct queries across {len(ws)} documents")
 
     print()
     print("== the compiled automaton ==")
     print(engine.explain("//book[keyword]"))
 
     print()
-    print("== strategies agree ==")
-    for strategy in ("naive", "jumping", "memo", "optimized", "hybrid"):
+    print("== every registered strategy agrees ==")
+    for strategy in strategy_names():
         engine.set_strategy(strategy)
-        print(f"{strategy:10s} //book -> {engine.count('//book')} nodes")
+        print(f"{strategy:14s} //book -> {engine.count('//book')} nodes")
 
 
 if __name__ == "__main__":

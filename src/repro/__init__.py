@@ -12,12 +12,32 @@ Quickstart::
     ids = engine.select("//a//b")
     print(engine.labels_of(ids))
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+Prepared queries (parse/compile once, execute many times, immutable
+per-execution stats)::
+
+    plan = engine.prepare("//a//b")
+    result = plan.execute()
+    print(result.nodes, result.stats.visited)
+
+Multiple documents sharing one compiled-query cache::
+
+    from repro import Workspace
+
+    ws = Workspace()
+    ws.add("d1", "<site><a><b/></a></site>")
+    ws.add("d2", "<site><b/></site>")
+    print(ws.select_all("//b"))           # {'d1': [...], 'd2': [...]}
+
+Evaluation strategies are plugins -- see :mod:`repro.engine.registry`
+and DESIGN.md for the system layers and the extension point; the
+paper-vs-measured record lives in :mod:`repro.bench.experiments`.
 """
 
 from repro.counters import EvalStats
 from repro.engine.api import Engine, evaluate
+from repro.engine.plan import ExecutionResult, PreparedQuery
+from repro.engine.registry import Strategy, register_strategy, strategy_names
+from repro.engine.workspace import Workspace
 from repro.index.jumping import TreeIndex
 from repro.tree.binary import BinaryTree
 from repro.tree.document import XMLDocument, XMLNode
@@ -25,7 +45,7 @@ from repro.tree.parser import parse_xml
 from repro.xpath.compiler import compile_xpath
 from repro.xpath.parser import parse_xpath
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Engine",
@@ -38,5 +58,11 @@ __all__ = [
     "XMLDocument",
     "XMLNode",
     "EvalStats",
+    "ExecutionResult",
+    "PreparedQuery",
+    "Strategy",
+    "register_strategy",
+    "strategy_names",
+    "Workspace",
     "__version__",
 ]

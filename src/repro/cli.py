@@ -6,19 +6,20 @@ Examples::
     python -m repro.cli '//keyword' --xmark 0.5 --stats
     cat doc.xml | python -m repro.cli '/site/regions' --strategy hybrid
     python -m repro.cli '//a[b]' doc.xml --explain
+    python -m repro.cli --list-strategies
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro.engine import registry
 from repro.engine.api import Engine
 from repro.tree.parser import parse_xml
 from repro.xmark.generator import XMarkGenerator
-
-STRATEGIES = ("naive", "jumping", "memo", "optimized", "hybrid", "deterministic")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,7 +30,11 @@ def build_parser() -> argparse.ArgumentParser:
             "(reproduction of Maneth & Nguyen, VLDB 2010)"
         ),
     )
-    parser.add_argument("query", help="an XPath query in the forward Core fragment")
+    parser.add_argument(
+        "query",
+        nargs="?",
+        help="an XPath query in the forward Core fragment",
+    )
     parser.add_argument(
         "file",
         nargs="?",
@@ -43,12 +48,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--strategy",
-        choices=STRATEGIES,
+        choices=registry.strategy_names(),
         default="optimized",
         help="evaluation strategy (default: optimized)",
     )
     parser.add_argument(
-        "--stats", action="store_true", help="print evaluation statistics"
+        "--list-strategies",
+        action="store_true",
+        help="list the registered evaluation strategies and exit",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="emit per-query evaluation statistics as JSON on stderr",
     )
     parser.add_argument(
         "--explain",
@@ -74,7 +86,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_strategies:
+        for name, summary in registry.describe_strategies():
+            print(f"{name:14s} {summary}", file=out)
+        return 0
+
+    if args.query is None:
+        parser.error("query is required unless --list-strategies is given")
 
     if args.xmark is not None:
         doc = XMarkGenerator(scale=args.xmark, seed=args.seed).document()
@@ -102,11 +123,13 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         if args.explain:
             print(engine.explain(args.query), file=out)
             return 0
-        ids = engine.select(args.query)
+        plan = engine.prepare(args.query)
+        result = plan.execute()
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
+    ids = list(result.ids)
     if args.count:
         print(len(ids), file=out)
     elif args.labels:
@@ -115,14 +138,14 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     else:
         print(" ".join(map(str, ids)), file=out)
 
-    if args.stats and engine.last_stats is not None:
-        stats = engine.last_stats
-        print(
-            f"# selected={stats.selected} visited={stats.visited} "
-            f"jumps={stats.jumps} memo_entries={stats.memo_entries} "
-            f"of {len(engine.tree)} nodes",
-            file=sys.stderr,
+    if args.stats:
+        snapshot = dict(
+            result.stats.snapshot(),
+            query=args.query,
+            strategy=plan.strategy.name,
+            nodes=len(engine.tree),
         )
+        print(json.dumps(snapshot, sort_keys=True), file=sys.stderr)
     return 0
 
 

@@ -20,11 +20,40 @@ are cached, without which a Python implementation could not jump at all.)
 :mod:`repro.engine.hybrid` implements the start-anywhere evaluation of
 Section 4.4, :mod:`repro.engine.deterministic` the minimal-TDSTA pipeline
 for predicate-free path queries (Section 3 end to end), and
-:mod:`repro.engine.api` the one-call public interface.
+:mod:`repro.engine.mixed` the forward-prefix + step-wise pipeline for
+backward axes (Section 6).
+
+Every engine doubles as a *strategy plugin*: it registers itself in
+:mod:`repro.engine.registry`, declares which query fragment it supports,
+and names its fallback.  :mod:`repro.engine.api` is the one-document
+public interface on top (with :class:`~repro.engine.plan.PreparedQuery`
+for parse/compile-once reuse), and :mod:`repro.engine.workspace` the
+multi-document batch interface.
 """
 
 from repro.engine.api import Engine, evaluate
 from repro.engine.core import run_asta
 from repro.engine.hybrid import hybrid_evaluate
+from repro.engine.plan import CompiledQueryCache, ExecutionResult, PreparedQuery
+from repro.engine.registry import (
+    Strategy,
+    StrategyBase,
+    register_strategy,
+    strategy_names,
+)
+from repro.engine.workspace import Workspace
 
-__all__ = ["Engine", "evaluate", "run_asta", "hybrid_evaluate"]
+__all__ = [
+    "Engine",
+    "evaluate",
+    "run_asta",
+    "hybrid_evaluate",
+    "CompiledQueryCache",
+    "ExecutionResult",
+    "PreparedQuery",
+    "Strategy",
+    "StrategyBase",
+    "register_strategy",
+    "strategy_names",
+    "Workspace",
+]

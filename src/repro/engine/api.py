@@ -5,8 +5,17 @@
 >>> Engine(doc).select("//a/b")
 [3]
 
-:class:`Engine` owns the compiled-query cache and the tree index; repeated
-queries against the same document reuse both.
+:class:`Engine` binds one document to a tree index, a compiled-query
+cache, and a prepared-plan cache.  Strategy dispatch goes through the
+plugin registry (:mod:`repro.engine.registry`): the engine asks the
+registry to resolve the requested strategy against the parsed path, and
+the resolved strategy's fallback chain -- not an if/elif ladder here --
+decides what actually runs (backward axes end up on ``mixed``, non-chain
+queries under ``hybrid`` on ``optimized``, and so on).
+
+For query reuse and per-execution statistics use :meth:`Engine.prepare`;
+for many documents sharing one compiled-query cache use
+:class:`repro.engine.workspace.Workspace`.
 """
 
 from __future__ import annotations
@@ -15,21 +24,13 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.asta.automaton import ASTA
 from repro.counters import EvalStats
-from repro.engine import deterministic, hybrid, jumping, memo, naive, optimized
-from repro.engine.core import run_asta
+from repro.engine import registry
+from repro.engine.plan import CompiledQueryCache, ExecutionResult, PreparedQuery
 from repro.index.jumping import TreeIndex
 from repro.tree.binary import BinaryTree
 from repro.tree.document import XMLDocument
 from repro.xpath.ast import Path
-from repro.xpath.compiler import compile_xpath
 from repro.xpath.parser import parse_xpath
-
-_STRATEGIES = {
-    "naive": naive.evaluate,
-    "jumping": jumping.evaluate,
-    "memo": memo.evaluate,
-    "optimized": optimized.evaluate,
-}
 
 
 class Engine:
@@ -38,28 +39,49 @@ class Engine:
     Parameters
     ----------
     document:
-        An :class:`XMLDocument`, a :class:`BinaryTree`, or an XML string.
+        An :class:`XMLDocument`, a :class:`BinaryTree`, a prebuilt
+        :class:`TreeIndex`, or an XML string.
     strategy:
-        One of ``naive | jumping | memo | optimized | hybrid |
-        deterministic`` (default ``optimized``).  ``hybrid`` applies
-        start-anywhere planning to descendant chains; ``deterministic``
-        runs predicate-free path queries through the minimal-TDSTA
-        pipeline of Section 3 (Algorithm B.1).  Both fall back to
-        ``optimized`` for queries outside their fragment.
+        Any name registered in :mod:`repro.engine.registry` (built-ins:
+        ``naive | jumping | memo | optimized | hybrid | deterministic |
+        mixed``; default ``optimized``).  Strategies that do not support
+        a given query fall back along their declared chain -- ``hybrid``
+        applies start-anywhere planning to descendant chains and falls
+        back to ``optimized``; ``deterministic`` runs predicate-free path
+        queries through the minimal-TDSTA pipeline of Section 3
+        (Algorithm B.1); queries with backward axes always resolve to
+        ``mixed`` (Section 6).
+    cache:
+        An optional shared :class:`CompiledQueryCache` (a
+        :class:`~repro.engine.workspace.Workspace` passes one cache to
+        all of its engines); by default each engine owns a private one.
     """
 
     def __init__(
         self,
-        document: Union[XMLDocument, BinaryTree, str],
+        document: Union[XMLDocument, BinaryTree, TreeIndex, str],
         strategy: str = "optimized",
         encode_attributes: bool = False,
         encode_text: bool = False,
+        cache: Optional[CompiledQueryCache] = None,
     ) -> None:
         if isinstance(document, str):
             from repro.tree.parser import parse_xml
 
             document = parse_xml(document)
-        if isinstance(document, XMLDocument):
+        index: Optional[TreeIndex] = None
+        if not isinstance(document, XMLDocument) and (
+            encode_attributes or encode_text
+        ):
+            raise ValueError(
+                "encode_attributes/encode_text apply while building the "
+                "binary tree from an XMLDocument or XML string; the given "
+                f"{type(document).__name__} is already encoded"
+            )
+        if isinstance(document, TreeIndex):
+            index = document
+            tree = document.tree
+        elif isinstance(document, XMLDocument):
             tree = BinaryTree.from_document(
                 document,
                 encode_attributes=encode_attributes,
@@ -68,33 +90,29 @@ class Engine:
         else:
             tree = document
         self.tree = tree
-        self.index = TreeIndex(tree)
+        self.index = index if index is not None else TreeIndex(tree)
+        self.cache = cache if cache is not None else CompiledQueryCache()
+        self._plans: Dict[Tuple[str, str], PreparedQuery] = {}
+        self._plans_generation = registry.generation()
         self.set_strategy(strategy)
-        self._compiled: Dict[str, ASTA] = {}
         self.last_stats: Optional[EvalStats] = None
 
     def set_strategy(self, strategy: str) -> None:
-        extra = ("hybrid", "deterministic")
-        if strategy not in _STRATEGIES and strategy not in extra:
-            raise ValueError(
-                f"unknown strategy {strategy!r}; choose from "
-                f"{sorted(_STRATEGIES) + list(extra)}"
-            )
+        """Set the default strategy for subsequent queries (validated
+        against the registry)."""
+        registry.get_strategy(strategy)  # raises ValueError if unknown
         self.strategy = strategy
 
-    def compile(self, query: Union[str, Path]) -> ASTA:
+    def compile(
+        self, query: Union[str, Path], *, parsed: Optional[Path] = None
+    ) -> ASTA:
         """Compile (and cache) a query.
 
         On documents with encoded attribute/text labels, the ``*`` node
         test is resolved against the document's element-label inventory
         (see :func:`repro.xpath.compiler.compile_xpath`).
         """
-        key = query if isinstance(query, str) else str(query)
-        asta = self._compiled.get(key)
-        if asta is None:
-            asta = compile_xpath(query, wildcard_labels=self._wildcard_labels())
-            self._compiled[key] = asta
-        return asta
+        return self.cache.get(query, self._wildcard_labels(), parsed=parsed)
 
     def _wildcard_labels(self):
         encoded = any(l.startswith(("@", "#")) for l in self.tree.labels)
@@ -102,39 +120,47 @@ class Engine:
             return None  # Σ is exact for element-only documents
         return [l for l in self.tree.labels if not l.startswith(("@", "#"))]
 
+    def prepare(
+        self, query: Union[str, Path], strategy: Optional[str] = None
+    ) -> PreparedQuery:
+        """Parse, compile, and resolve ``query`` into a reusable plan.
+
+        Plans are cached per ``(query, strategy)``: preparing the same
+        query twice returns the same object, and ``execute()`` on it does
+        zero re-parsing and zero re-compilation.
+        """
+        name = strategy if strategy is not None else self.strategy
+        if self._plans_generation != registry.generation():
+            # A strategy was (re/un)registered: cached resolutions and
+            # strategy objects may be stale.
+            self._plans.clear()
+            self._plans_generation = registry.generation()
+        key = (query if isinstance(query, str) else str(query), name)
+        plan = self._plans.get(key)
+        if plan is None:
+            path = parse_xpath(query) if isinstance(query, str) else query
+            resolved = registry.resolve(name, path)
+            plan = PreparedQuery(self, query, path, resolved)
+            self._plans[key] = plan
+        return plan
+
+    def execute(self, query: Union[str, Path]) -> ExecutionResult:
+        """Prepare (or reuse) a plan and execute it once."""
+        return self.prepare(query).execute()
+
     def select(self, query: Union[str, Path]) -> List[int]:
         """Node ids selected by ``query``, in document order."""
         return self.run(query)[1]
 
     def run(self, query: Union[str, Path]) -> Tuple[bool, List[int]]:
-        """(accepted, selected ids); also records :attr:`last_stats`."""
-        stats = EvalStats()
-        path_obj = parse_xpath(query) if isinstance(query, str) else query
-        if path_obj.has_backward_axes():
-            # Backward axes are outside the forward theory (Section 6):
-            # route through the mixed pipeline regardless of strategy.
-            from repro.engine.mixed import mixed_evaluate
+        """(accepted, selected ids); also records :attr:`last_stats`.
 
-            result = mixed_evaluate(path_obj, self.index, stats)
-            self.last_stats = stats
-            return result
-        if self.strategy == "hybrid":
-            path = path_obj
-            result = hybrid.hybrid_evaluate(path, self.index, stats)
-        elif self.strategy == "deterministic":
-            from repro.automata.pathdet import NotPathShaped
-
-            path = parse_xpath(query) if isinstance(query, str) else query
-            try:
-                result = deterministic.evaluate(path, self.index, stats)
-            except NotPathShaped:
-                asta = self.compile(path)
-                result = optimized.evaluate(asta, self.index, stats)
-        else:
-            asta = self.compile(query)
-            result = _STRATEGIES[self.strategy](asta, self.index, stats)
-        self.last_stats = stats
-        return result
+        Legacy shape -- new code should prefer :meth:`execute`, whose
+        :class:`ExecutionResult` carries its own immutable stats.
+        """
+        result = self.execute(query)
+        self.last_stats = result.stats
+        return result.accepted, list(result.ids)
 
     def count(self, query: Union[str, Path]) -> int:
         """Number of selected nodes."""
@@ -154,35 +180,12 @@ class Engine:
         ]
 
     def explain(self, query: Union[str, Path]) -> str:
-        """Describe the compiled automaton and (for hybrid) the plan."""
-        path = parse_xpath(query) if isinstance(query, str) else query
-        if path.has_backward_axes():
-            from repro.engine.mixed import forward_prefix_length
-
-            k = forward_prefix_length(path)
-            lines = [
-                "mixed pipeline (backward axes):",
-                f"  forward segment: {k} step(s) on the optimized engine",
-                f"  remainder: {len(path.steps) - k} step(s) step-at-a-time",
-            ]
-            if k:
-                prefix = Path(path.absolute, path.steps[:k])
-                lines.append(self.compile(prefix).describe())
-            return "\n".join(lines)
-        asta = self.compile(query)
-        lines = [asta.describe()]
-        if hybrid.is_hybrid_applicable(path):
-            k = hybrid.plan_pivot(path, self.index)
-            step = path.steps[k]
-            lines.append(
-                f"hybrid plan: pivot step {k + 1} ({step.test}, "
-                f"count {self.index.count(step.test)})"
-            )
-        return "\n".join(lines)
+        """Describe the resolved strategy, compiled automaton, and plan."""
+        return self.prepare(query).explain()
 
 
 def evaluate(
-    document: Union[XMLDocument, BinaryTree, str],
+    document: Union[XMLDocument, BinaryTree, TreeIndex, str],
     query: Union[str, Path],
     strategy: str = "optimized",
 ) -> List[int]:

@@ -21,6 +21,7 @@ from repro.automata.pathdet import NotPathShaped, path_tdsta
 from repro.automata.sta import STA
 from repro.automata.topdown import topdown_jump
 from repro.counters import EvalStats
+from repro.engine.registry import StrategyBase, register_strategy
 from repro.index.jumping import TreeIndex
 from repro.xpath.ast import Path
 from repro.xpath.compiler import compile_xpath
@@ -40,13 +41,10 @@ def compile_tdsta(query: Union[str, Path]) -> STA:
     return sta
 
 
-def evaluate(
-    query: Union[str, Path],
-    index: TreeIndex,
-    stats: Optional[EvalStats] = None,
+def run_tdsta(
+    sta: STA, index: TreeIndex, stats: Optional[EvalStats] = None
 ) -> Tuple[bool, List[int]]:
-    """(accepted, selected ids) via the minimal-TDSTA jumping run."""
-    sta = compile_tdsta(query)
+    """Jumping run of a compiled minimal TDSTA; (accepted, selected ids)."""
     run = topdown_jump(sta, index, stats)
     tree = index.tree
     selected = sorted(
@@ -57,6 +55,15 @@ def evaluate(
     # For predicate-free path queries the ASTA accepts a tree iff a full
     # match exists, i.e. iff something is selected.
     return bool(selected), selected
+
+
+def evaluate(
+    query: Union[str, Path],
+    index: TreeIndex,
+    stats: Optional[EvalStats] = None,
+) -> Tuple[bool, List[int]]:
+    """(accepted, selected ids) via the minimal-TDSTA jumping run."""
+    return run_tdsta(compile_tdsta(query), index, stats)
 
 
 def evaluate_bottomup_filter(
@@ -91,3 +98,29 @@ def evaluate_bottomup_filter(
     if stats is not None:
         stats.selected = len(selected)
     return bool(selected), selected
+
+
+@register_strategy
+class DeterministicStrategy(StrategyBase):
+    """Minimal-TDSTA pipeline for predicate-free path queries (Section 3)."""
+
+    name = "deterministic"
+    fallback = "optimized"  # which in turn chains to mixed for backward axes
+
+    def supports(self, path: Path) -> bool:
+        # Path-shapedness is decided by the compiled automaton, so the
+        # capability check compiles it -- the result lands in the global
+        # TDSTA cache, making the later prepare() a lookup.
+        if path.has_backward_axes():
+            return False
+        try:
+            compile_tdsta(path)
+        except NotPathShaped:
+            return False
+        return True
+
+    def prepare(self, plan) -> None:
+        plan.artifacts["tdsta"] = compile_tdsta(plan.path)
+
+    def execute(self, plan, index, stats):
+        return run_tdsta(plan.artifacts["tdsta"], index, stats)

@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 
 from repro.counters import EvalStats
 from repro.engine import optimized
+from repro.engine.registry import StrategyBase, register_strategy
 from repro.index.jumping import TreeIndex
 from repro.tree.binary import NIL
 from repro.xpath.ast import Axis, Path
@@ -163,3 +164,17 @@ def _collect_suffix(
         # they are already distinct and sorted.
         return list(out)
     return out
+
+
+@register_strategy
+class HybridStrategy(StrategyBase):
+    """Start-anywhere evaluation for descendant chains (Section 4.4)."""
+
+    name = "hybrid"
+    fallback = "optimized"  # non-chain queries run the full ASTA machinery
+
+    def supports(self, path: Path) -> bool:
+        return is_hybrid_applicable(path)
+
+    def execute(self, plan, index, stats):
+        return hybrid_evaluate(plan.path, index, stats)

@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 from repro.asta.automaton import ASTA
 from repro.counters import EvalStats
 from repro.engine.core import run_asta
+from repro.engine.registry import AstaStrategy, register_strategy
 from repro.index.jumping import TreeIndex
 
 
@@ -22,3 +23,11 @@ def evaluate(
 ) -> Tuple[bool, List[int]]:
     """Run the jumping engine; returns (accepted, selected ids)."""
     return run_asta(asta, index, jumping=True, memo=False, ip=True, stats=stats)
+
+
+@register_strategy
+class JumpingStrategy(AstaStrategy):
+    """Relevant-node jumping without memoization (Figure 4 "Jumping")."""
+
+    name = "jumping"
+    evaluator = staticmethod(evaluate)

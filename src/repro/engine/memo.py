@@ -13,6 +13,7 @@ from typing import List, Optional, Tuple
 from repro.asta.automaton import ASTA
 from repro.counters import EvalStats
 from repro.engine.core import run_asta
+from repro.engine.registry import AstaStrategy, register_strategy
 from repro.index.jumping import TreeIndex
 
 
@@ -21,3 +22,11 @@ def evaluate(
 ) -> Tuple[bool, List[int]]:
     """Run the memoizing engine; returns (accepted, selected ids)."""
     return run_asta(asta, index, jumping=False, memo=True, ip=False, stats=stats)
+
+
+@register_strategy
+class MemoStrategy(AstaStrategy):
+    """Full traversal with memoized transitions (Figure 4 "Memo")."""
+
+    name = "memo"
+    evaluator = staticmethod(evaluate)

@@ -19,11 +19,14 @@ property tests check exactly that.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
+from repro.asta.automaton import ASTA
 from repro.baselines.stepwise import eval_steps_from
 from repro.counters import EvalStats
 from repro.engine import optimized
+from repro.engine.registry import StrategyBase, register_strategy
 from repro.index.jumping import TreeIndex
 from repro.xpath.ast import Axis, Path, Pred, PredAnd, PredNot, PredOr, PredPath, Step
 from repro.xpath.compiler import compile_xpath
@@ -55,26 +58,43 @@ def _pred_has_backward(pred: Optional[Pred]) -> bool:
     raise AssertionError(pred)
 
 
-def mixed_evaluate(
-    query: Union[str, Path],
-    index: TreeIndex,
-    stats: Optional[EvalStats] = None,
-) -> Tuple[bool, List[int]]:
-    """(accepted, selected ids) for queries with backward axes."""
-    path = parse_xpath(query) if isinstance(query, str) else query
+@dataclass(frozen=True)
+class MixedPlan:
+    """The prepared split of a query: forward prefix + step-wise rest."""
+
+    k: int
+    prefix_asta: Optional[ASTA]
+
+
+def plan_mixed(path: Path, compile=compile_xpath) -> MixedPlan:
+    """Split ``path`` and compile its forward prefix (once).
+
+    ``compile`` lets callers route the prefix through a shared cache
+    (the registered strategy passes ``Engine.compile``).
+    """
     if not path.absolute:
         raise ValueError("mixed_evaluate expects an absolute query")
     k = forward_prefix_length(path)
+    prefix_asta = compile(Path(path.absolute, path.steps[:k])) if k else None
+    return MixedPlan(k, prefix_asta)
+
+
+def run_mixed(
+    path: Path,
+    mplan: MixedPlan,
+    index: TreeIndex,
+    stats: Optional[EvalStats] = None,
+) -> Tuple[bool, List[int]]:
+    """Execute a prepared :class:`MixedPlan`; (accepted, selected ids)."""
+    k = mplan.k
     if k == 0:
         # The very first step is backward: start step-wise from the
         # document node (parent/ancestor of it are empty, so this is
         # usually empty unless a later segment recovers -- XPath agrees).
         context: List[int] = [-1]
     else:
-        prefix = Path(path.absolute, path.steps[:k])
-        asta = compile_xpath(prefix)
         prefix_stats = EvalStats()
-        _, context = optimized.evaluate(asta, index, prefix_stats)
+        _, context = optimized.evaluate(mplan.prefix_asta, index, prefix_stats)
         if stats is not None:
             stats.merge(prefix_stats)
     rest = path.steps[k:]
@@ -87,3 +107,35 @@ def mixed_evaluate(
     if stats is not None:
         stats.selected = len(selected)
     return bool(selected), selected
+
+
+def mixed_evaluate(
+    query: Union[str, Path],
+    index: TreeIndex,
+    stats: Optional[EvalStats] = None,
+) -> Tuple[bool, List[int]]:
+    """(accepted, selected ids) for queries with backward axes."""
+    path = parse_xpath(query) if isinstance(query, str) else query
+    return run_mixed(path, plan_mixed(path), index, stats)
+
+
+@register_strategy
+class MixedStrategy(StrategyBase):
+    """Forward prefix on the ASTA engine + step-wise rest (Section 6)."""
+
+    name = "mixed"
+    fallback = None  # terminal: accepts every query
+
+    def supports(self, path: Path) -> bool:
+        return True
+
+    def prepare(self, plan) -> None:
+        # The prefix automaton goes through the engine's shared cache
+        # (and its wildcard-label inventory) so a Workspace compiles
+        # each prefix once across documents.
+        plan.artifacts["mixed"] = plan_mixed(
+            plan.path, compile=plan.engine.compile
+        )
+
+    def execute(self, plan, index, stats):
+        return run_mixed(plan.path, plan.artifacts["mixed"], index, stats)

@@ -11,6 +11,7 @@ from typing import List, Optional, Tuple
 from repro.asta.automaton import ASTA
 from repro.counters import EvalStats
 from repro.engine.core import run_asta
+from repro.engine.registry import AstaStrategy, register_strategy
 from repro.index.jumping import TreeIndex
 
 
@@ -19,3 +20,11 @@ def evaluate(
 ) -> Tuple[bool, List[int]]:
     """Run the naive engine; returns (accepted, selected ids)."""
     return run_asta(asta, index, jumping=False, memo=False, ip=False, stats=stats)
+
+
+@register_strategy
+class NaiveStrategy(AstaStrategy):
+    """Full traversal, |Q| transition scan per node (Figure 4 "Naive")."""
+
+    name = "naive"
+    evaluator = staticmethod(evaluate)

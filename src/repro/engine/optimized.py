@@ -11,6 +11,7 @@ from typing import List, Optional, Tuple
 from repro.asta.automaton import ASTA
 from repro.counters import EvalStats
 from repro.engine.core import run_asta
+from repro.engine.registry import AstaStrategy, register_strategy
 from repro.index.jumping import TreeIndex
 
 
@@ -27,3 +28,11 @@ def evaluate(
     technique-ablation benchmark).
     """
     return run_asta(asta, index, jumping=True, memo=True, ip=ip, stats=stats)
+
+
+@register_strategy
+class OptimizedStrategy(AstaStrategy):
+    """Jumping + memoization + information propagation (the default)."""
+
+    name = "optimized"
+    evaluator = staticmethod(evaluate)

@@ -1,0 +1,195 @@
+"""Prepared queries: parse/compile once, execute many times.
+
+:class:`PreparedQuery` is the unit of reuse in the redesigned API.  It
+holds the parsed :class:`~repro.xpath.ast.Path`, the compiled
+:class:`~repro.asta.automaton.ASTA` (when the resolved strategy consumes
+one), and the strategy resolved through the registry's fallback chain.
+``execute()`` allocates a fresh :class:`~repro.counters.EvalStats` per
+call and returns an immutable :class:`ExecutionResult` -- there is no
+shared mutable ``last_stats`` to race on.
+
+:class:`CompiledQueryCache` is the compiled-automaton cache shared by a
+:class:`~repro.engine.workspace.Workspace` across documents.  Wildcard
+(``*``) node tests compile against the document's element-label
+inventory, so the cache key is ``(query, label-inventory)``: documents
+with identical inventories (in particular, all element-only documents)
+share one compiled automaton per query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.asta.automaton import ASTA
+from repro.counters import EvalStats
+from repro.xpath.ast import Path
+from repro.xpath.compiler import compile_xpath
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.registry import Strategy
+
+
+class CompiledQueryCache:
+    """Query-string -> compiled ASTA cache, keyed by label inventory.
+
+    Instruments :attr:`compilations` (cache misses that invoked the
+    compiler) and :attr:`hits` so tests and benchmarks can assert that
+    prepared queries and workspaces do zero redundant compilation.
+    """
+
+    def __init__(self) -> None:
+        self._astas: Dict[Tuple[str, Optional[Tuple[str, ...]]], ASTA] = {}
+        self.compilations = 0
+        self.hits = 0
+
+    def __len__(self) -> int:
+        return len(self._astas)
+
+    @staticmethod
+    def _key(
+        query: Union[str, Path], wildcard_labels: Optional[List[str]]
+    ) -> Tuple[str, Optional[Tuple[str, ...]]]:
+        inventory = (
+            None
+            if wildcard_labels is None
+            else tuple(sorted(set(wildcard_labels)))
+        )
+        return (query if isinstance(query, str) else str(query), inventory)
+
+    def get(
+        self,
+        query: Union[str, Path],
+        wildcard_labels: Optional[List[str]] = None,
+        *,
+        parsed: Optional[Path] = None,
+    ) -> ASTA:
+        """Compiled ASTA for ``query`` (compiling on first use).
+
+        ``parsed`` supplies an already-parsed path so a cache miss does
+        not re-parse the query string.
+        """
+        key = self._key(query, wildcard_labels)
+        asta = self._astas.get(key)
+        if asta is None:
+            source = parsed if parsed is not None else query
+            asta = compile_xpath(source, wildcard_labels=wildcard_labels)
+            self._astas[key] = asta
+            self.compilations += 1
+        else:
+            self.hits += 1
+        return asta
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """One execution's outcome: immutable, self-contained.
+
+    ``stats`` belongs to this execution alone -- concurrent or repeated
+    ``execute()`` calls never overwrite each other's counters (unlike the
+    legacy ``Engine.last_stats``).
+    """
+
+    accepted: bool
+    ids: Tuple[int, ...]
+    stats: EvalStats
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.ids)
+
+    @property
+    def nodes(self) -> List[int]:
+        """Selected node ids as a list (document order)."""
+        return list(self.ids)
+
+
+class PreparedQuery:
+    """A query plan bound to one engine: parsed, compiled, resolved.
+
+    Created by :meth:`repro.engine.api.Engine.prepare`.  Attributes:
+
+    ``query``
+        The original query (string form).
+    ``path``
+        The parsed :class:`~repro.xpath.ast.Path`.
+    ``strategy``
+        The registry strategy that will run it (after fallback
+        resolution -- e.g. a backward-axis query prepared under
+        ``optimized`` resolves to ``mixed``).
+    ``artifacts``
+        Per-plan scratch space for strategy-specific precomputation
+        (the mixed strategy caches its forward-prefix automaton here,
+        the deterministic strategy its minimal TDSTA).
+    """
+
+    __slots__ = ("engine", "query", "path", "strategy", "artifacts", "_asta")
+
+    def __init__(
+        self,
+        engine,
+        query: Union[str, Path],
+        path: Path,
+        strategy: "Strategy",
+    ) -> None:
+        self.engine = engine
+        self.query = query if isinstance(query, str) else str(query)
+        self.path = path
+        self.strategy = strategy
+        self.artifacts: Dict[str, object] = {}
+        self._asta: Optional[ASTA] = None
+        # Duck-typed plugins may omit the optional protocol members.
+        if getattr(strategy, "needs_asta", False):
+            self._asta = engine.compile(query, parsed=path)
+        prepare_hook = getattr(strategy, "prepare", None)
+        if prepare_hook is not None:
+            prepare_hook(self)
+
+    @property
+    def asta(self) -> ASTA:
+        """The compiled ASTA (lazy for strategies that never need one --
+        compiling a backward-axis path would be outside the forward
+        fragment)."""
+        if self._asta is None:
+            self._asta = self.engine.compile(self.query, parsed=self.path)
+        return self._asta
+
+    def execute(self) -> ExecutionResult:
+        """Run the plan; zero parsing/compilation happens here."""
+        stats = EvalStats()
+        accepted, ids = self.strategy.execute(self, self.engine.index, stats)
+        return ExecutionResult(accepted, tuple(ids), stats)
+
+    def select(self) -> List[int]:
+        """Selected node ids, in document order (convenience)."""
+        return list(self.execute().ids)
+
+    def explain(self) -> str:
+        """Describe the resolved strategy, compiled automaton, and plan."""
+        from repro.engine import hybrid
+        from repro.engine.mixed import forward_prefix_length
+
+        lines = [f"strategy: {self.strategy.name}"]
+        path = self.path
+        if path.has_backward_axes():
+            k = forward_prefix_length(path)
+            lines += [
+                "mixed pipeline (backward axes):",
+                f"  forward segment: {k} step(s) on the optimized engine",
+                f"  remainder: {len(path.steps) - k} step(s) step-at-a-time",
+            ]
+            if k:
+                prefix = Path(path.absolute, path.steps[:k])
+                lines.append(self.engine.compile(prefix).describe())
+            return "\n".join(lines)
+        lines.append(self.asta.describe())
+        if hybrid.is_hybrid_applicable(path):
+            k = hybrid.plan_pivot(path, self.engine.index)
+            step = path.steps[k]
+            lines.append(
+                f"hybrid plan: pivot step {k + 1} ({step.test}, "
+                f"count {self.engine.index.count(step.test)})"
+            )
+        return "\n".join(lines)

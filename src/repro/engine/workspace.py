@@ -1,0 +1,146 @@
+"""Multi-document workspaces: one compiled-query cache, many documents.
+
+A :class:`Workspace` registers named documents and runs single queries,
+query batches (:meth:`Workspace.select_many`), and cross-document
+broadcasts (:meth:`Workspace.select_all`) over them.  All member engines
+share one :class:`~repro.engine.plan.CompiledQueryCache`, keyed by
+``(query, label-inventory)``, so a query compiled for one document is
+reused by every document with the same wildcard inventory (always the
+case for element-only documents).
+
+>>> from repro.engine.workspace import Workspace
+>>> ws = Workspace()
+>>> _ = ws.add("d1", "<r><a><b/></a></r>")
+>>> _ = ws.add("d2", "<r><b/><a><b/><b/></a></r>")
+>>> ws.select_all("//a/b")
+{'d1': [2], 'd2': [3, 4]}
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.engine.api import Engine
+from repro.engine.plan import CompiledQueryCache, ExecutionResult, PreparedQuery
+from repro.index.jumping import TreeIndex
+from repro.tree.binary import BinaryTree
+from repro.tree.document import XMLDocument
+from repro.xpath.ast import Path
+
+Query = Union[str, Path]
+Document = Union[XMLDocument, BinaryTree, TreeIndex, str]
+
+
+class Workspace:
+    """A set of named documents sharing strategy and compiled queries.
+
+    Parameters mirror :class:`~repro.engine.api.Engine`; ``strategy``,
+    ``encode_attributes`` and ``encode_text`` become the defaults for
+    every document added later.
+    """
+
+    def __init__(
+        self,
+        strategy: str = "optimized",
+        encode_attributes: bool = False,
+        encode_text: bool = False,
+    ) -> None:
+        self.strategy = strategy
+        self.encode_attributes = encode_attributes
+        self.encode_text = encode_text
+        self.cache = CompiledQueryCache()
+        self._engines: Dict[str, Engine] = {}
+
+    # -- document management ------------------------------------------------
+
+    def add(self, name: str, document: Document) -> Engine:
+        """Register ``document`` under ``name``; returns its engine."""
+        if name in self._engines:
+            raise ValueError(f"document {name!r} already registered")
+        engine = Engine(
+            document,
+            strategy=self.strategy,
+            encode_attributes=self.encode_attributes,
+            encode_text=self.encode_text,
+            cache=self.cache,
+        )
+        self._engines[name] = engine
+        return engine
+
+    def remove(self, name: str) -> None:
+        """Drop a document (compiled queries stay cached for the rest)."""
+        del self._engines[name]
+
+    def engine(self, name: str) -> Engine:
+        """The engine bound to document ``name``."""
+        try:
+            return self._engines[name]
+        except KeyError:
+            raise KeyError(
+                f"no document {name!r}; registered: {self.documents()}"
+            ) from None
+
+    def documents(self) -> List[str]:
+        """Registered document names, in insertion order."""
+        return list(self._engines)
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._engines
+
+    # -- querying -----------------------------------------------------------
+
+    def prepare(self, query: Query, document: str) -> PreparedQuery:
+        """A reusable plan for ``query`` on the named document."""
+        return self.engine(document).prepare(query)
+
+    def execute(self, query: Query, document: str) -> ExecutionResult:
+        """Run ``query`` on one document; immutable per-execution result."""
+        return self.engine(document).execute(query)
+
+    def select(self, query: Query, document: str) -> List[int]:
+        """Selected node ids of ``query`` on the named document."""
+        return list(self.execute(query, document).ids)
+
+    def select_many(
+        self, queries: Iterable[Query], document: Optional[str] = None
+    ) -> Dict[str, object]:
+        """Run a batch of queries.
+
+        With ``document`` given, returns ``{query: [ids]}`` for that
+        document; otherwise runs the batch on *every* document and
+        returns ``{document: {query: [ids]}}``.  Either way each distinct
+        query is compiled at most once per label inventory.
+        """
+        queries = list(queries)
+        if document is not None:
+            engine = self.engine(document)
+            return {
+                self._qkey(q): list(engine.execute(q).ids) for q in queries
+            }
+        return {
+            name: {
+                self._qkey(q): list(engine.execute(q).ids) for q in queries
+            }
+            for name, engine in self._engines.items()
+        }
+
+    def select_all(self, query: Query) -> Dict[str, List[int]]:
+        """Run one query across every document: ``{document: [ids]}``."""
+        return {
+            name: list(engine.execute(query).ids)
+            for name, engine in self._engines.items()
+        }
+
+    def count_all(self, query: Query) -> Dict[str, int]:
+        """Result cardinality per document (cheap fan-out analytics)."""
+        return {
+            name: len(engine.execute(query).ids)
+            for name, engine in self._engines.items()
+        }
+
+    @staticmethod
+    def _qkey(query: Query) -> str:
+        return query if isinstance(query, str) else str(query)

@@ -42,6 +42,39 @@ class TestCLI:
             assert code == 0
             assert out.strip() == "2 3"
 
+    def test_all_registered_strategies_accepted(self, xml_file):
+        from repro.engine import registry
+
+        for strategy in registry.strategy_names():
+            code, out = run(["//b", xml_file, "--strategy", strategy])
+            assert code == 0, strategy
+            assert out.strip() == "2 3", strategy
+
+    def test_list_strategies(self):
+        from repro.engine import registry
+
+        code, out = run(["--list-strategies"])
+        assert code == 0
+        listed = [line.split()[0] for line in out.strip().splitlines()]
+        assert listed == registry.strategy_names()
+
+    def test_query_required_without_list_strategies(self, capsys):
+        with pytest.raises(SystemExit):
+            run([])
+
+    def test_stats_emits_json(self, xml_file, capsys):
+        import json
+
+        code, out = run(["//b", xml_file, "--stats"])
+        assert code == 0
+        assert out.strip() == "2 3"
+        stats = json.loads(capsys.readouterr().err.strip())
+        assert stats["selected"] == 2
+        assert stats["strategy"] == "optimized"
+        assert stats["query"] == "//b"
+        assert stats["visited"] >= 2
+        assert stats["nodes"] == 4
+
     def test_explain(self, xml_file):
         code, out = run(["//a//b", xml_file, "--explain"])
         assert code == 0

@@ -4,6 +4,12 @@ This is the library's central correctness property: naive, jumping,
 memoized, optimized, hybrid and the step-wise baseline must all return
 exactly the reference answer, on the paper's fifteen queries over XMark
 documents and on hypothesis-random documents x random fragment queries.
+
+The registry conformance suite at the bottom extends the property to
+*every registered strategy*: it parametrizes over
+``registry.strategy_names()`` at collection time, so a plugin strategy
+registered before test collection is checked against the ``naive``
+oracle and the reference semantics for free.
 """
 
 import pytest
@@ -11,7 +17,8 @@ from hypothesis import given, settings
 
 from repro.baselines.stepwise import stepwise_evaluate
 from repro.counters import EvalStats
-from repro.engine import jumping, memo, naive, optimized
+from repro.engine import optimized, registry
+from repro.engine.api import Engine
 from repro.engine.hybrid import hybrid_evaluate
 from repro.index.jumping import TreeIndex
 from repro.xmark.queries import QUERIES
@@ -21,11 +28,11 @@ from repro.xpath.reference import evaluate_reference
 
 from strategies import binary_trees, xpath_queries
 
+# The Figure 4 series: every ASTA-consuming strategy in the registry.
 ENGINES = {
-    "naive": naive.evaluate,
-    "jumping": jumping.evaluate,
-    "memo": memo.evaluate,
-    "optimized": optimized.evaluate,
+    strategy.name: strategy.evaluator
+    for strategy in registry.all_strategies()
+    if getattr(strategy, "evaluator", None) is not None
 }
 
 
@@ -144,3 +151,53 @@ class TestXPathMarkASeries:
             if not sel:
                 empty.append(aid)
         assert empty == []
+
+
+# ---------------------------------------------------------------------------
+# Registry conformance: every registered strategy vs the naive oracle.
+# ---------------------------------------------------------------------------
+
+ALL_STRATEGIES = registry.strategy_names()
+
+
+def assert_strategy_matches_oracle(engine: Engine, strategy: str, query: str):
+    """The shared conformance check: ``strategy`` == naive == reference.
+
+    Exercised through the public API, so fallback-chain resolution is
+    part of what's being conformance-tested.
+    """
+    expected = evaluate_reference(engine.tree, parse_xpath(query))
+    oracle = list(engine.prepare(query, strategy="naive").execute().ids)
+    result = engine.prepare(query, strategy=strategy).execute()
+    assert oracle == expected, f"naive oracle disagrees with reference on {query}"
+    assert list(result.ids) == expected, (
+        f"{strategy} disagrees on {query}: {list(result.ids)} != {expected}"
+    )
+    if expected:
+        # Nonempty selection must be accepted; an empty selection may
+        # still be accepted (the Q10 quirk: acceptance is existential).
+        assert result.accepted, f"{strategy} rejected {query} with results"
+
+
+class TestRegistryConformance:
+    """Every registered strategy, through Engine.prepare, on the corpus."""
+
+    @pytest.fixture(scope="class")
+    def corpus_engine(self, xmark_index):
+        return Engine(xmark_index)
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @pytest.mark.parametrize("qid", sorted(QUERIES))
+    def test_paper_corpus(self, corpus_engine, strategy, qid):
+        assert_strategy_matches_oracle(corpus_engine, strategy, QUERIES[qid])
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_backward_axes_resolve_and_agree(self, corpus_engine, strategy):
+        for query in ("//bidder/parent::open_auction", "//emph/ancestor::listitem"):
+            assert_strategy_matches_oracle(corpus_engine, strategy, query)
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @given(tree=binary_trees(max_depth=3, max_children=3), query=xpath_queries())
+    @settings(max_examples=25, deadline=None)
+    def test_random_documents(self, strategy, tree, query):
+        assert_strategy_matches_oracle(Engine(tree), strategy, query)

@@ -35,7 +35,9 @@ def test_quickstart_runs():
     out = run_example(
         next(p for p in EXAMPLES if p.name == "quickstart.py"), []
     )
-    assert "strategies agree" in out
+    assert "every registered strategy agrees" in out
+    assert "prepared queries" in out
+    assert "workspace" in out
     assert "//book" in out
 
 
