@@ -1,0 +1,62 @@
+"""Hot-path benchmark: interned evaluation + fused jumps, vs baseline.
+
+Run as pytest (the CI ``bench-smoke`` job does, at a small scale)::
+
+    REPRO_BENCH_SCALE=0.2 pytest benchmarks/bench_hotpath.py -q
+
+The correctness assertions are blocking -- every benchmarked strategy
+must return the naive oracle's selected-node set on every query of the
+fig-4 mix -- while the timings are recorded into ``BENCH_hotpath.json``
+without being asserted (wall-clock on shared runners is noise).
+
+Run as a script to emit the smoke artifact at the configured scale.
+Regenerating the *committed* ``BENCH_hotpath.json`` (both scales, full
+repeats) is ``python -m repro.bench.baseline BENCH_hotpath.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.bench import baseline
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "3"))
+# Default to a non-tracked path so a smoke run from the repo root never
+# clobbers the committed full-scale artifact.
+OUT = os.environ.get("REPRO_BENCH_OUT", "BENCH_hotpath.smoke.json")
+
+
+def test_hotpath_strategies_match_naive_oracle():
+    """Blocking: capture() asserts oracle identity for every strategy
+    and query; also emits the bench artifact for CI upload."""
+    report = baseline.build_report(scales=(SCALE,), repeats=REPEATS)
+    entry = report["scales"][str(SCALE)]
+    for strat, rec in entry["strategies"].items():
+        for qid, row in rec["per_query"].items():
+            assert row["oracle_match"], (strat, qid)
+            assert row["ms"] > 0
+    with open(OUT, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def test_hotpath_memo_tables_warm_across_executions():
+    """Blocking: a prepared plan's second execution inserts nothing."""
+    from repro.engine.api import Engine
+    from repro.index.jumping import TreeIndex
+    from repro.xmark.generator import XMarkGenerator
+
+    index = TreeIndex(XMarkGenerator(scale=0.1, seed=42).tree())
+    engine = Engine(index)
+    plan = engine.prepare("//listitem//keyword")
+    first = plan.execute()
+    second = plan.execute()
+    assert list(first.ids) == list(second.ids)
+    assert second.stats.memo_entries == 0
+    assert second.stats.memo_hits > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(baseline.main([OUT]))

@@ -43,24 +43,24 @@ def concat(a: Rope, b: Rope) -> Rope:
 def flatten(rope: Rope) -> List[int]:
     """Materialize a rope into a sorted duplicate-free id list."""
     out: List[int] = []
+    append = out.append
     stack = [rope]
+    pop = stack.pop
+    push = stack.append
     while stack:
-        r = stack.pop()
+        r = pop()
         if not r:
             continue
         if r[0] == "v":
-            out.append(r[1])
+            append(r[1])
         else:
-            stack.append(r[1])
-            stack.append(r[2])
+            push(r[1])
+            push(r[2])
     if not out:
         return out
     out.sort()
-    dedup = [out[0]]
-    for x in out[1:]:
-        if x != dedup[-1]:
-            dedup.append(x)
-    return dedup
+    # C-level ordered dedup (evaluation order makes duplicates rare).
+    return list(dict.fromkeys(out))
 
 
 def eval_formula(f: Formula, g1: ResultSet, g2: ResultSet) -> Tuple[bool, Rope]:

@@ -53,6 +53,10 @@ class SetInfo:
     jump_shape: str  # "both" | "left" | "right" | "none"
     essential_ids: Optional[List[int]]  # label ids to jump to (None: no jump)
     essential_names: FrozenSet[str]
+    fused: object = None
+    """Lazily attached :class:`~repro.index.labels.FusedLabels` for
+    ``essential_ids`` (the evaluator caches it here so dt/ft jumps are one
+    bisect over the merged array)."""
     early_stop: bool = False
     """True when no state of the set is marking: once every state has been
     accepted by some jumped-to node, further targets cannot change the
@@ -65,20 +69,30 @@ class SetInfo:
 class TDAAnalysis:
     """On-the-fly, cached computation of tda(A) and its jump plans."""
 
-    def __init__(self, asta: ASTA, tree) -> None:
+    def __init__(self, asta: ASTA, tree, interner=None) -> None:
         self.asta = asta
         self.tree = tree
         self._atoms = asta.atoms()
         self._other = self._atoms[-1][0]
         self._mentioned = frozenset(rep for rep, _ in self._atoms[:-1])
-        self._cache: Dict[StateSet, SetInfo] = {}
+        # With an interner (any object exposing ``state_id``) the cache is
+        # keyed by dense ints instead of hashing frozensets of state names;
+        # :class:`repro.engine.intern.RunTables` passes itself here so the
+        # tda cache shares the evaluator's sid space.
+        self._interner = interner
+        self._cache: Dict[object, SetInfo] = {}
 
     def atom_rep(self, label: str) -> str:
         return label if label in self._mentioned else self._other
 
     def info(self, states: StateSet) -> SetInfo:
         """The jump plan for ``S`` (computed once per distinct set)."""
-        cached = self._cache.get(states)
+        key = (
+            self._interner.state_id(states)
+            if self._interner is not None
+            else states
+        )
+        cached = self._cache.get(key)
         if cached is not None:
             return cached
         per_atom: Dict[str, AtomInfo] = {}
@@ -86,8 +100,8 @@ class TDAAnalysis:
             per_atom[rep] = self._atom_info(states, rep)
         shape, ids, names = self._jump_plan(states, per_atom)
         early_stop = not any(self.asta.is_marking(q) for q in states)
-        info = SetInfo(per_atom, shape, ids, names, early_stop)
-        self._cache[states] = info
+        info = SetInfo(per_atom, shape, ids, names, early_stop=early_stop)
+        self._cache[key] = info
         return info
 
     def _atom_info(self, states: StateSet, rep: str) -> AtomInfo:

@@ -1,0 +1,235 @@
+"""Hot-path benchmark writer: wall-clock + counters vs the pre-PR baseline.
+
+``python -m repro.bench.baseline [out.json]`` runs the fig-4 XMark query
+mix (Q01-Q15) through prepared queries for the ``naive`` / ``optimized``
+/ ``hybrid`` strategies, records best-of-N wall-clock plus the
+jumps/visited/memo counters per query, verifies every strategy's
+selected-node set against the naive oracle, and emits
+``BENCH_hotpath.json`` comparing against :data:`PRE_PR_BASELINE` -- the
+same measurement taken on the pre-optimization revision (commit 87e1618)
+on the same machine, interleaved with the post-change runs to cancel
+drift.
+
+Two aggregates are reported per strategy and scale:
+
+- ``sum_speedup``: total mix wall-clock old/new (dominated by the
+  hardest two or three queries);
+- ``geomean_speedup``: geometric mean of the per-query speedups, the
+  standard aggregate for a query-suite (Figure 4 itself is a per-query
+  plot).
+
+Timings are machine-dependent and therefore *recorded, not asserted*;
+the selected-node identity checks are hard assertions (the CI
+``bench-smoke`` job runs them blocking on a small scale).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import time
+from typing import Dict, Iterable, Optional
+
+from repro.counters import EvalStats
+from repro.engine.api import Engine
+from repro.index.jumping import TreeIndex
+from repro.xmark.generator import XMarkGenerator
+from repro.xmark.queries import QUERIES
+
+STRATEGIES = ("naive", "optimized", "hybrid")
+
+#: Per-query best-of-9 milliseconds of the pre-PR revision (87e1618) on
+#: the benchmark machine, captured from a clean worktree of that commit
+#: interleaved with post-change runs.  Keyed by XMark scale.
+PRE_PR_BASELINE: Dict[str, dict] = {
+    "meta": {
+        "rev": "87e1618",
+        "repeats": 9,
+        "note": (
+            "pre-PR measurement, same machine/session as the 'current' "
+            "numbers of the committed BENCH_hotpath.json"
+        ),
+    },
+    "0.5": {
+        "nodes": 13576,
+        "strategies": {
+            "naive": {
+                "Q01": 0.0312, "Q02": 3.8266, "Q03": 5.7617, "Q04": 0.9631,
+                "Q05": 70.5791, "Q06": 27.7713, "Q07": 9.5732, "Q08": 88.9012,
+                "Q09": 15.5184, "Q10": 60.8188, "Q11": 64.0503,
+                "Q12": 95.9955, "Q13": 131.2659, "Q14": 98.2627,
+                "Q15": 166.0686,
+            },
+            "optimized": {
+                "Q01": 0.0611, "Q02": 1.1937, "Q03": 1.8393, "Q04": 0.6682,
+                "Q05": 7.492, "Q06": 3.5548, "Q07": 2.3955, "Q08": 9.7958,
+                "Q09": 2.502, "Q10": 0.0627, "Q11": 4.9684, "Q12": 5.1995,
+                "Q13": 5.7758, "Q14": 5.4232, "Q15": 5.6345,
+            },
+            "hybrid": {
+                "Q01": 0.0596, "Q02": 1.2035, "Q03": 1.8964, "Q04": 0.6647,
+                "Q05": 0.2762, "Q06": 3.807, "Q07": 2.4036, "Q08": 10.0115,
+                "Q09": 2.4857, "Q10": 0.061, "Q11": 5.1721, "Q12": 5.3629,
+                "Q13": 5.8816, "Q14": 5.5079, "Q15": 5.5682,
+            },
+        },
+    },
+    "1.0": {
+        "nodes": 26217,
+        "strategies": {
+            "naive": {
+                "Q01": 0.0319, "Q02": 6.8907, "Q03": 11.0067, "Q04": 1.6998,
+                "Q05": 137.0962, "Q06": 52.2424, "Q07": 18.6674,
+                "Q08": 166.1266, "Q09": 32.1337, "Q10": 120.4237,
+                "Q11": 124.3783, "Q12": 188.3521, "Q13": 257.673,
+                "Q14": 186.6501, "Q15": 313.8141,
+            },
+            "optimized": {
+                "Q01": 0.0615, "Q02": 1.7964, "Q03": 3.1882, "Q04": 1.0852,
+                "Q05": 13.8356, "Q06": 6.9584, "Q07": 3.9866, "Q08": 16.9329,
+                "Q09": 4.1476, "Q10": 0.0617, "Q11": 9.882, "Q12": 10.2896,
+                "Q13": 10.3615, "Q14": 10.0436, "Q15": 9.8091,
+            },
+            "hybrid": {
+                "Q01": 0.0593, "Q02": 1.8023, "Q03": 3.162, "Q04": 1.0771,
+                "Q05": 0.5143, "Q06": 6.7857, "Q07": 4.1258, "Q08": 16.9006,
+                "Q09": 4.3175, "Q10": 0.0618, "Q11": 9.6737, "Q12": 10.2165,
+                "Q13": 10.9328, "Q14": 10.2927, "Q15": 9.9925,
+            },
+        },
+    },
+}
+
+
+def capture(
+    scale: float = 0.5,
+    repeats: int = 9,
+    strategies: Iterable[str] = STRATEGIES,
+) -> dict:
+    """Measure the fig-4 mix at one scale; assert oracle identity.
+
+    Returns ``{"nodes": n, "strategies": {name: {qid: {"ms": ...,
+    "visited": ..., "jumps": ..., "memo_hits": ..., "memo_entries": ...,
+    "selected": ..., "oracle_match": True}}}}``.  Raises AssertionError
+    if any strategy disagrees with the naive oracle on any query.
+    """
+    index = TreeIndex(XMarkGenerator(scale=scale, seed=42).tree())
+    engine = Engine(index)
+    oracle = {
+        qid: tuple(engine.prepare(q, strategy="naive").execute().ids)
+        for qid, q in QUERIES.items()
+    }
+    out: dict = {"nodes": index.tree.n, "strategies": {}}
+    for strat in strategies:
+        per: Dict[str, dict] = {}
+        for qid, q in QUERIES.items():
+            plan = engine.prepare(q, strategy=strat)
+            result = plan.execute()  # warm the plan tables
+            assert result.ids == oracle[qid], (
+                f"{strat} disagrees with the naive oracle on {qid}"
+            )
+            best = float("inf")
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                result = plan.execute()
+                elapsed = time.perf_counter() - t0
+                if elapsed < best:
+                    best = elapsed
+            stats: EvalStats = result.stats
+            per[qid] = {
+                "ms": round(best * 1000, 4),
+                "visited": stats.visited,
+                "jumps": stats.jumps,
+                "memo_hits": stats.memo_hits,
+                "memo_entries": stats.memo_entries,
+                "selected": stats.selected,
+                "oracle_match": True,
+            }
+        out["strategies"][strat] = per
+    return out
+
+
+def _aggregate(baseline: Dict[str, float], current: Dict[str, dict]) -> dict:
+    """Per-query speedups plus the sum/geomean aggregates."""
+    speedups = {
+        qid: round(baseline[qid] / rec["ms"], 3)
+        for qid, rec in current.items()
+        if qid in baseline and rec["ms"] > 0
+    }
+    total_old = sum(baseline[qid] for qid in speedups)
+    total_new = sum(current[qid]["ms"] for qid in speedups)
+    geo = math.exp(
+        sum(math.log(s) for s in speedups.values()) / len(speedups)
+    )
+    return {
+        "per_query_speedup": speedups,
+        "total_old_ms": round(total_old, 3),
+        "total_new_ms": round(total_new, 3),
+        "sum_speedup": round(total_old / total_new, 3),
+        "geomean_speedup": round(geo, 3),
+    }
+
+
+def build_report(
+    scales: Iterable[float] = (0.5, 1.0), repeats: int = 9
+) -> dict:
+    """Capture all scales and join against the recorded baseline."""
+    report: dict = {
+        "benchmark": "fig-4 XMark query mix (Q01-Q15), prepared execution",
+        "baseline": PRE_PR_BASELINE["meta"],
+        "scales": {},
+    }
+    for scale in scales:
+        key = str(scale)
+        cap = capture(scale=scale, repeats=repeats)
+        entry: dict = {"nodes": cap["nodes"], "strategies": {}}
+        base_scale = PRE_PR_BASELINE.get(key)
+        for strat, per in cap["strategies"].items():
+            rec: dict = {"per_query": per}
+            if base_scale and strat in base_scale["strategies"]:
+                rec.update(
+                    _aggregate(base_scale["strategies"][strat], per)
+                )
+            entry["strategies"][strat] = rec
+        report["scales"][key] = entry
+    return report
+
+
+def write(
+    path: str = "BENCH_hotpath.json",
+    scales: Iterable[float] = (0.5, 1.0),
+    repeats: int = 9,
+) -> dict:
+    """Build the report and write it to ``path``; returns the report."""
+    report = build_report(scales=scales, repeats=repeats)
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def main(argv: Optional[list] = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    path = argv[0] if argv else "BENCH_hotpath.json"
+    import os
+
+    scales = tuple(
+        float(s)
+        for s in os.environ.get("REPRO_BENCH_SCALES", "0.5,1.0").split(",")
+    )
+    repeats = int(os.environ.get("REPRO_BENCH_REPEATS", "9"))
+    report = write(path, scales=scales, repeats=repeats)
+    for key, entry in report["scales"].items():
+        for strat, rec in entry["strategies"].items():
+            if "geomean_speedup" in rec:
+                print(
+                    f"scale={key} {strat:10s} sum {rec['sum_speedup']:.2f}x "
+                    f"geomean {rec['geomean_speedup']:.2f}x"
+                )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

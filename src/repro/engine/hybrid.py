@@ -20,14 +20,14 @@ optimized engine.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
 from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.counters import EvalStats
 from repro.engine import optimized
 from repro.engine.registry import StrategyBase, register_strategy
 from repro.index.jumping import TreeIndex
-from repro.tree.binary import NIL
 from repro.xpath.ast import Axis, Path
 from repro.xpath.compiler import compile_xpath
 from repro.xpath.parser import parse_xpath
@@ -86,11 +86,14 @@ def hybrid_evaluate(
     if stats is not None:
         stats.visited += len(starts)
 
-    verified = (
-        starts
-        if k == 0
-        else [v for v in starts if _prefix_holds(index, labels[:k], v, stats)]
-    )
+    if k == 0:
+        verified = starts
+    else:
+        prefix_ids = [tree.label_id(name) for name in labels[:k]]
+        if any(lab is None for lab in prefix_ids):
+            verified = []  # a prefix label absent from the document
+        else:
+            verified = _verify_prefix_batch(index, prefix_ids, starts, stats)
 
     selected = _collect_suffix(index, labels[k + 1 :], verified, stats)
     predicate = path.steps[-1].predicate
@@ -105,25 +108,42 @@ def hybrid_evaluate(
     return bool(selected), selected
 
 
-def _prefix_holds(
-    index: TreeIndex, prefix: List[str], v: int, stats: Optional[EvalStats]
-) -> bool:
-    """Greedy upward check: ancestors of v match prefix (deepest first).
+def _verify_prefix_batch(
+    index: TreeIndex,
+    prefix_ids: List[int],
+    starts: List[int],
+    stats: Optional[EvalStats],
+) -> List[int]:
+    """Greedy upward prefix check for all pivots at once.
 
-    Greedy matching is exact for existence: the deepest candidate for the
-    last prefix label has a superset of remaining ancestors, so if any
-    witness chain exists the greedy one does too.
+    One vectorized parent-step per tree level: every still-undecided
+    pivot climbs one ancestor and compares its label id against the
+    prefix position it currently awaits -- O(height) numpy passes
+    instead of O(|pivots| * height) interpreted steps.
     """
-    tree = index.tree
-    j = len(prefix) - 1
-    p = tree.parent[v]
-    while p != NIL and j >= 0:
-        if stats is not None:
-            stats.visited += 1
-        if tree.label(p) == prefix[j]:
-            j -= 1
-        p = tree.parent[p]
-    return j < 0
+    if not starts:
+        return []
+    parent = index.parent_array()
+    label_of = index.label_of_array()
+    pids = np.asarray(prefix_ids, dtype=np.int64)
+    cur = parent[np.asarray(starts, dtype=np.int64)]
+    j = np.full(len(starts), len(prefix_ids) - 1, dtype=np.int64)
+    alive = cur >= 0
+    walked = 0
+    while True:
+        idx = np.flatnonzero(alive)
+        if idx.size == 0:
+            break
+        walked += int(idx.size)
+        nodes = cur[idx]
+        match = label_of[nodes] == pids[j[idx]]
+        j[idx] -= match
+        cur[idx] = parent[nodes]
+        alive[idx] = (cur[idx] >= 0) & (j[idx] >= 0)
+    if stats is not None:
+        stats.visited += walked
+    ok = j < 0
+    return [v for v, good in zip(starts, ok) if good]
 
 
 def _collect_suffix(
@@ -135,35 +155,48 @@ def _collect_suffix(
     """Descend //l(k+1)//...//ln from the verified pivots.
 
     Per level, the context is staircase-pruned to top-most nodes (nested
-    subtree ranges are redundant for the descendant axis), then each range
-    is sliced out of the next label's sorted node list.
+    subtree ranges are redundant for the descendant axis), then all
+    context ranges are sliced out of the next label's sorted node array
+    in one vectorized ``np.searchsorted`` pass.
     """
-    tree = index.tree
-    out = current
-    for label in suffix:
-        lst = index.labels.nodes(label)
-        nxt: List[int] = []
-        prev_end = -1
-        for v in out:
-            if v < prev_end:
-                continue  # nested in a previous context subtree
-            end = tree.xml_end[v]
-            lo = bisect_right(lst, v)
-            hi = bisect_left(lst, end, lo)
-            nxt.extend(lst[lo:hi])
-            if stats is not None:
-                stats.visited += hi - lo
-                stats.index_probes += 1
-            prev_end = end
-        out = nxt
-        if not out:
-            break
     if not suffix:
         # Pure bottom-up run: the pivots themselves are the answer, but
         # nested duplicates must be kept (each was verified separately) --
         # they are already distinct and sorted.
-        return list(out)
-    return out
+        return list(current)
+    xml_end = index.xml_end_array()
+    out = np.asarray(current, dtype=np.int64)
+    for label in suffix:
+        if out.size == 0:
+            break
+        arr = index.labels.nodes_array(label)
+        if arr.size == 0:
+            out = arr
+            break
+        ends = xml_end[out]
+        # Staircase prune: drop contexts nested in an earlier subtree
+        # (their ranges are sub-ranges; skipped ends never exceed the
+        # enclosing end, so the running maximum matches the kept chain).
+        keep = np.empty(out.size, dtype=bool)
+        keep[0] = True
+        if out.size > 1:
+            keep[1:] = out[1:] >= np.maximum.accumulate(ends)[:-1]
+        ctx = out[keep]
+        ctx_end = ends[keep]
+        lo = np.searchsorted(arr, ctx, side="right")
+        hi = np.searchsorted(arr, ctx_end, side="left")
+        counts = hi - lo
+        total = int(counts.sum())
+        if stats is not None:
+            stats.visited += total
+            stats.index_probes += int(ctx.size)
+        if total == 0:
+            out = arr[:0]
+            break
+        offsets = np.cumsum(counts) - counts
+        positions = np.repeat(lo - offsets, counts) + np.arange(total)
+        out = arr[positions]
+    return [int(v) for v in out]
 
 
 @register_strategy

@@ -19,10 +19,12 @@ from repro.index.jumping import TreeIndex
 
 
 def evaluate(
-    asta: ASTA, index: TreeIndex, stats: Optional[EvalStats] = None
+    asta: ASTA, index: TreeIndex, stats: Optional[EvalStats] = None, *, tables=None
 ) -> Tuple[bool, List[int]]:
     """Run the jumping engine; returns (accepted, selected ids)."""
-    return run_asta(asta, index, jumping=True, memo=False, ip=True, stats=stats)
+    return run_asta(
+        asta, index, jumping=True, memo=False, ip=True, stats=stats, tables=tables
+    )
 
 
 @register_strategy

@@ -18,10 +18,12 @@ from repro.index.jumping import TreeIndex
 
 
 def evaluate(
-    asta: ASTA, index: TreeIndex, stats: Optional[EvalStats] = None
+    asta: ASTA, index: TreeIndex, stats: Optional[EvalStats] = None, *, tables=None
 ) -> Tuple[bool, List[int]]:
     """Run the memoizing engine; returns (accepted, selected ids)."""
-    return run_asta(asta, index, jumping=False, memo=True, ip=False, stats=stats)
+    return run_asta(
+        asta, index, jumping=False, memo=True, ip=False, stats=stats, tables=tables
+    )
 
 
 @register_strategy
@@ -30,3 +32,4 @@ class MemoStrategy(AstaStrategy):
 
     name = "memo"
     evaluator = staticmethod(evaluate)
+    table_jumping = False  # no jump analysis needed, memo tables only

@@ -28,3 +28,4 @@ class NaiveStrategy(AstaStrategy):
 
     name = "naive"
     evaluator = staticmethod(evaluate)
+    reuse_tables = False  # paying the full per-node cost is the point

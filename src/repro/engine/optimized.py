@@ -21,13 +21,17 @@ def evaluate(
     stats: Optional[EvalStats] = None,
     *,
     ip: bool = True,
+    tables=None,
 ) -> Tuple[bool, List[int]]:
     """Run the fully optimized engine; returns (accepted, selected ids).
 
     ``ip=False`` disables information propagation only (used by the
-    technique-ablation benchmark).
+    technique-ablation benchmark).  ``tables`` carries warmed interned
+    memo tables across calls (prepared queries pass their own).
     """
-    return run_asta(asta, index, jumping=True, memo=True, ip=ip, stats=stats)
+    return run_asta(
+        asta, index, jumping=True, memo=True, ip=ip, stats=stats, tables=tables
+    )
 
 
 @register_strategy

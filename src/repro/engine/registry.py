@@ -111,15 +111,37 @@ class AstaStrategy(StrategyBase):
     machine of :mod:`repro.engine.core` (the Figure 4 series).
 
     Subclasses set :attr:`evaluator` to their module-level
-    ``evaluate(asta, index, stats)`` function.
+    ``evaluate(asta, index, stats)`` function.  Strategies with
+    :attr:`reuse_tables` keep a warmed
+    :class:`~repro.engine.intern.RunTables` in ``plan.artifacts`` so
+    repeated ``execute()`` calls on a prepared plan skip re-deriving memo
+    entries, tda jump plans, and fused label arrays (the naive strategy
+    opts out: paying the full per-node cost is its defining trait).
     """
 
     fallback = "mixed"  # backward axes route through the mixed pipeline
     needs_asta = True
     evaluator = None  # type: ignore[assignment]
+    reuse_tables = True
+    table_jumping = True  # whether the tables carry a TDA jump analysis
 
     def execute(self, plan, index, stats):
-        return type(self).evaluator(plan.asta, index, stats)
+        evaluator = type(self).evaluator
+        if not self.reuse_tables:
+            return evaluator(plan.asta, index, stats)
+        from repro.engine.intern import RunTables
+
+        tables = plan.artifacts.get("run_tables")
+        if (
+            not isinstance(tables, RunTables)
+            or tables.asta is not plan.asta
+            or tables.index is not index
+        ):
+            tables = RunTables(
+                plan.asta, index, jumping=self.table_jumping
+            )
+            plan.artifacts["run_tables"] = tables
+        return evaluator(plan.asta, index, stats, tables=tables)
 
 
 _REGISTRY: Dict[str, Strategy] = {}

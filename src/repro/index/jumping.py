@@ -18,9 +18,10 @@ the paper's error node Ω.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Iterable, Optional
 
-from repro.index.labels import LabelIndex
+from repro.index.labels import FusedLabels, LabelIndex
 from repro.tree.binary import NIL, BinaryTree
 
 OMEGA = -2
@@ -33,6 +34,45 @@ class TreeIndex:
     def __init__(self, tree: BinaryTree, labels: Optional[LabelIndex] = None) -> None:
         self.tree = tree
         self.labels = labels if labels is not None else LabelIndex(tree)
+
+    def fused(self, label_ids: Iterable[int]) -> FusedLabels:
+        """The cached merged node array of a label-id set (see
+        :meth:`repro.index.labels.LabelIndex.fused`)."""
+        return self.labels.fused(label_ids)
+
+    def xml_end_array(self):
+        """``tree.xml_end`` as a cached ``np.int64`` array (for
+        vectorized subtree-range slicing)."""
+        arr = getattr(self, "_xml_end_arr", None)
+        if arr is None:
+            import numpy as np
+
+            arr = self._xml_end_arr = np.asarray(
+                self.tree.xml_end, dtype=np.int64
+            )
+        return arr
+
+    def parent_array(self):
+        """``tree.parent`` as a cached ``np.int64`` array."""
+        arr = getattr(self, "_parent_arr", None)
+        if arr is None:
+            import numpy as np
+
+            arr = self._parent_arr = np.asarray(
+                self.tree.parent, dtype=np.int64
+            )
+        return arr
+
+    def label_of_array(self):
+        """``tree.label_of`` as a cached ``np.int64`` array."""
+        arr = getattr(self, "_label_of_arr", None)
+        if arr is None:
+            import numpy as np
+
+            arr = self._label_of_arr = np.asarray(
+                self.tree.label_of, dtype=np.int64
+            )
+        return arr
 
     # -- label helpers -------------------------------------------------------
 
@@ -96,13 +136,23 @@ class TreeIndex:
     def topmost_in_subtree(self, v: int, label_ids: Iterable[int]) -> list[int]:
         """Top-most L-labelled nodes in the binary subtree of ``v``.
 
-        Computed as ``pi0 = dt(v, L)``, then ``pi_{k+1} = ft(pi_k, L, v)``
-        until Ω -- exactly the recipe below Definition 3.2.
+        Semantically ``pi0 = dt(v, L)``, then ``pi_{k+1} = ft(pi_k, L, v)``
+        until Ω -- the recipe below Definition 3.2 -- but computed as a
+        single walk over the fused label array: each step bisects the
+        remaining suffix for ``bend(cur)`` instead of re-searching the
+        whole array.
         """
-        ids = list(label_ids)
+        fused = self.labels.fused(label_ids)
+        lst = fused.lst
+        size = fused.size
+        tree = self.tree
+        hi = tree.bend(v)
         out: list[int] = []
-        cur = self.dt(v, ids)
-        while cur != OMEGA:
+        i = bisect_left(lst, v + 1)
+        while i < size:
+            cur = lst[i]
+            if cur >= hi:
+                break
             out.append(cur)
-            cur = self.ft(cur, ids, v)
+            i = bisect_left(lst, tree.bend(cur), i + 1)
         return out

@@ -1,17 +1,27 @@
-"""Per-label node lists with O(1) global counts.
+"""Per-label node lists with O(1) global counts and fused jump arrays.
 
 SXSI's compressed text/tree indexes expose, for every element name, the
 ability to jump to labelled descendants/followings and to read the global
 count of a label in constant time (Section 5).  This module is the
-Python-level equivalent: for each label, the sorted list of node ids
+Python-level equivalent: for each label, the sorted array of node ids
 (document order).  Because :class:`~repro.tree.binary.BinaryTree` ids *are*
-document order, these lists are produced already sorted.
+document order, these arrays are produced already sorted.
+
+Jump targets are label *sets* (the essential labels of a tda state set),
+and a per-label search pays O(|L| log n) per jump.  :meth:`LabelIndex.fused`
+therefore caches, per distinct label-id set, the *merged* sorted union of
+the per-label arrays, so ``dt``/``ft`` collapse to a single binary search
+over one fused array.  The fused cache is never invalidated: a
+:class:`LabelIndex` belongs to one immutable tree, so the per-label arrays
+(and hence any union of them) are fixed for its lifetime.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
-from typing import Iterable, Optional, Protocol, Sequence
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
 
 
 class _LabelledTree(Protocol):
@@ -22,8 +32,34 @@ class _LabelledTree(Protocol):
     def label_id(self, name: str) -> Optional[int]: ...
 
 
+class FusedLabels:
+    """The merged sorted node ids of one label-id set.
+
+    ``arr`` is the fused ``np.int64`` array (for vectorized range slicing);
+    ``lst`` is its plain-list mirror, which the evaluator's inner loop
+    probes with :func:`bisect.bisect_left` (a C scalar search without the
+    per-call ufunc overhead of ``np.searchsorted``).
+    """
+
+    __slots__ = ("arr", "lst", "size")
+
+    def __init__(self, arr: np.ndarray) -> None:
+        self.arr = arr
+        self.lst: List[int] = arr.tolist()
+        self.size = len(self.lst)
+
+    def first_at_or_after(self, lo: int, hi: int) -> int:
+        """Smallest fused id in ``[lo, hi)``, or ``-1``."""
+        i = bisect_left(self.lst, lo)
+        if i < self.size:
+            v = self.lst[i]
+            if v < hi:
+                return v
+        return -1
+
+
 class LabelIndex:
-    """Sorted id lists per label, plus O(1) counts.
+    """Sorted id arrays per label, plus O(1) counts and fused unions.
 
     Works over any tree exposing ``labels`` / ``label_of`` in preorder
     (both :class:`BinaryTree` and :class:`SuccinctTree` qualify).
@@ -31,17 +67,23 @@ class LabelIndex:
 
     def __init__(self, tree: _LabelledTree) -> None:
         self.tree = tree
-        lists: list[list[int]] = [[] for _ in tree.labels]
-        label_of = tree.label_of
-        for v in range(tree.n):
-            lists[label_of[v]].append(v)
-        self._lists = lists
+        label_of = np.asarray(tree.label_of, dtype=np.int64)
+        order = np.argsort(label_of, kind="stable")
+        sorted_labels = label_of[order]
+        boundaries = np.searchsorted(
+            sorted_labels, np.arange(len(tree.labels) + 1)
+        )
+        ids = np.arange(tree.n, dtype=np.int64)[order]
+        self._arrays: List[np.ndarray] = [
+            ids[boundaries[lab] : boundaries[lab + 1]]
+            for lab in range(len(tree.labels))
+        ]
+        self._lists: List[List[int]] = [a.tolist() for a in self._arrays]
+        self._fused: Dict[Tuple[int, ...], FusedLabels] = {}
 
     def count(self, label: str) -> int:
         """Global number of nodes with this element name (O(1))."""
-        lab = self.tree.label_ids.get(label) if hasattr(self.tree, "label_ids") else None
-        if lab is None:
-            lab = _label_id(self.tree, label)
+        lab = _label_id(self.tree, label)
         return 0 if lab is None else len(self._lists[lab])
 
     def nodes(self, label: str) -> list[int]:
@@ -49,29 +91,54 @@ class LabelIndex:
         lab = _label_id(self.tree, label)
         return [] if lab is None else self._lists[lab]
 
+    def nodes_array(self, label: str) -> np.ndarray:
+        """All nodes with this label as a sorted ``np.int64`` array."""
+        lab = _label_id(self.tree, label)
+        if lab is None:
+            return np.empty(0, dtype=np.int64)
+        return self._arrays[lab]
+
+    def fused(self, label_ids: Iterable[int]) -> FusedLabels:
+        """The merged sorted union array of a label-id set (cached).
+
+        Per-label arrays are disjoint (each node has one label), so the
+        union is a plain merge.  The canonical cache key is the sorted id
+        tuple; the as-given ordering is aliased to the same
+        :class:`FusedLabels`, so repeated jumps with the same essential-id
+        list (the common case: one list object per tda state set) hit the
+        cache without re-sorting.
+        """
+        key = tuple(label_ids)
+        hit = self._fused.get(key)
+        if hit is None:
+            canonical = tuple(sorted(key))
+            hit = self._fused.get(canonical)
+            if hit is None:
+                if not canonical:
+                    merged = np.empty(0, dtype=np.int64)
+                elif len(canonical) == 1:
+                    merged = self._arrays[canonical[0]]
+                else:
+                    parts = [self._arrays[lab] for lab in canonical]
+                    merged = np.sort(np.concatenate(parts), kind="mergesort")
+                hit = self._fused[canonical] = FusedLabels(merged)
+            if key != canonical:
+                self._fused[key] = hit
+        return hit
+
     def first_in_range(self, label_ids: Iterable[int], lo: int, hi: int) -> int:
         """Smallest node id in ``[lo, hi)`` whose label id is in the set.
 
-        Returns ``-1`` when no such node exists.  Cost is
-        O(|L| log n), matching the paper's index cost model.
+        Returns ``-1`` when no such node exists.  One binary search over
+        the fused union array, not a per-label search loop.
         """
-        best = -1
-        for lab in label_ids:
-            lst = self._lists[lab]
-            i = bisect_left(lst, lo)
-            if i < len(lst):
-                v = lst[i]
-                if v < hi and (best == -1 or v < best):
-                    best = v
-        return best
+        return self.fused(label_ids).first_at_or_after(lo, hi)
 
     def count_in_range(self, label_ids: Iterable[int], lo: int, hi: int) -> int:
         """Number of nodes in ``[lo, hi)`` with a label in the set."""
-        total = 0
-        for lab in label_ids:
-            lst = self._lists[lab]
-            total += bisect_right(lst, hi - 1) - bisect_left(lst, lo)
-        return total
+        fused = self.fused(label_ids)
+        lo_i, hi_i = np.searchsorted(fused.arr, [lo, hi], side="left")
+        return int(hi_i - lo_i)
 
 
 def _label_id(tree: _LabelledTree, name: str) -> Optional[int]:

@@ -8,7 +8,10 @@ excess-search structure (a flat cousin of the range-min-max tree):
 - the tree topology is the DFS parenthesis sequence stored in a
   :class:`~repro.index.bitvector.BitVector` (``(`` = 1, ``)`` = 0),
 - per-block excess summaries (total delta, min, max) let ``findclose`` /
-  ``enclose`` skip whole blocks,
+  ``enclose`` skip whole blocks, and within candidate blocks the scans
+  advance one *byte* at a time through precomputed 8-bit excess tables
+  (total / min-prefix / min- and max-suffix excess per byte value) --
+  the word-parallel technique of the C implementations, at Python scale;
 - node ids are preorder numbers, so they coincide with the ids used by
   :class:`~repro.tree.binary.BinaryTree` and the two backends are
   interchangeable behind the navigation API.
@@ -31,19 +34,51 @@ from repro.tree.document import XMLDocument
 
 _BLOCK = 256  # bits per excess-summary block
 
+# -- 8-bit excess tables (bit i of a byte = BP position base + i) -----------
+# For each byte value: the total excess over its 8 bits, the minimum
+# excess over its non-empty prefixes, and the min/max excess over its
+# non-empty suffixes (scanning backwards).
+
+_B_EXC = [0] * 256
+_B_MINPRE = [0] * 256
+_B_MINSUF = [0] * 256
+_B_MAXSUF = [0] * 256
+for _b in range(256):
+    _e = 0
+    _mn = 8
+    for _k in range(8):
+        _e += 1 if (_b >> _k) & 1 else -1
+        if _e < _mn:
+            _mn = _e
+    _B_EXC[_b] = _e
+    _B_MINPRE[_b] = _mn
+    _s = 0
+    _mns = 8
+    _mxs = -8
+    for _k in range(7, -1, -1):
+        _s += 1 if (_b >> _k) & 1 else -1
+        if _s < _mns:
+            _mns = _s
+        if _s > _mxs:
+            _mxs = _s
+    _B_MINSUF[_b] = _mns
+    _B_MAXSUF[_b] = _mxs
+del _b, _e, _mn, _k, _s, _mns, _mxs
+
 
 class SuccinctTree:
     """BP-encoded ordinal tree with firstChild/nextSibling/parent/subtree ops."""
 
-    def __init__(self, parens: list[int], label_of: list[int], labels: list[str]) -> None:
-        if len(parens) != 2 * len(label_of):
+    def __init__(self, parens, label_of: list[int], labels: list[str]) -> None:
+        bits = np.asarray(parens, dtype=np.uint8)
+        if int(bits.size) != 2 * len(label_of):
             raise ValueError("parenthesis sequence length must be 2 * #nodes")
-        self.bv = BitVector(parens)
+        self.bv = BitVector(bits)
         self.n = len(label_of)
         self.labels = labels
         self.label_ids = {name: i for i, name in enumerate(labels)}
         self.label_of = label_of
-        self._build_excess_blocks(parens)
+        self._build_excess_blocks(bits)
 
     # -- construction ------------------------------------------------------
 
@@ -86,33 +121,18 @@ class SuccinctTree:
                 stack.append((c, 0))
         return cls(parens, list(tree.label_of), list(tree.labels))
 
-    def _build_excess_blocks(self, parens: list[int]) -> None:
-        m = len(parens)
+    def _build_excess_blocks(self, bits: np.ndarray) -> None:
+        m = int(bits.size)
         nblocks = (m + _BLOCK - 1) // _BLOCK or 1
-        total = np.zeros(nblocks, dtype=np.int64)
-        bmin = np.zeros(nblocks, dtype=np.int64)
-        bmax = np.zeros(nblocks, dtype=np.int64)
-        for b in range(nblocks):
-            lo = b * _BLOCK
-            hi = min(lo + _BLOCK, m)
-            exc = 0
-            mn = 1 << 60
-            mx = -(1 << 60)
-            for i in range(lo, hi):
-                exc += 1 if parens[i] else -1
-                if exc < mn:
-                    mn = exc
-                if exc > mx:
-                    mx = exc
-            total[b] = exc
-            bmin[b] = mn
-            bmax[b] = mx
-        # Absolute excess at each block start.
+        deltas = np.zeros(nblocks * _BLOCK, dtype=np.int64)
+        deltas[:m] = bits.astype(np.int64) * 2 - 1
+        cum = np.cumsum(deltas).reshape(nblocks, _BLOCK)
         starts = np.zeros(nblocks + 1, dtype=np.int64)
-        starts[1:] = np.cumsum(total)
-        self._block_total = total
-        self._block_min = bmin
-        self._block_max = bmax
+        starts[1:] = cum[:, -1]
+        # (Padding repeats the final excess, which never tightens min/max.)
+        self._block_total = starts[1:] - starts[:-1]
+        self._block_min = cum.min(axis=1) - starts[:-1]
+        self._block_max = cum.max(axis=1) - starts[:-1]
         self._block_start_excess = starts
         self._m = m
 
@@ -127,69 +147,136 @@ class SuccinctTree:
 
     def findclose(self, p: int) -> int:
         """Position of the ``)`` matching the ``(`` at position ``p``."""
-        if self._bit(p) != 1:
+        bts = self.bv._bytes
+        if not (bts[p >> 3] >> (p & 7)) & 1:
             raise ValueError(f"position {p} is not an opening parenthesis")
         target = self._excess(p)  # excess returns to this level after match
-        # Scan the rest of p's block.
+        m = self._m
+        # Bit-scan the rest of p's byte.
+        cur = target + 1
+        j = p + 1
+        stop = min((p >> 3) * 8 + 8, m)
+        while j < stop:
+            cur += 1 if (bts[j >> 3] >> (j & 7)) & 1 else -1
+            if cur == target:
+                return j
+            j += 1
+        # Byte-scan the rest of p's block through the excess tables.
         block = p // _BLOCK
-        hi = min((block + 1) * _BLOCK, self._m)
-        exc = self._excess(p + 1)
-        i = p + 1
-        while i < hi:
-            if exc == target and self._bit(i - 1) == 0:
-                return i - 1
-            exc += 1 if self._bit(i) else -1
-            i += 1
-        if exc == target and i > p + 1 and self._bit(i - 1) == 0:
-            return i - 1
+        hit = self._scan_fwd(j >> 3, min((block + 1) * _BLOCK, m + 7) >> 3, cur, target)
+        if hit >= 0:
+            if hit < m:
+                return hit
+            raise ValueError(f"unbalanced parentheses: no close for {p}")
         # Jump over blocks whose min excess stays above target.
-        b = block + 1
+        bse = self._block_start_excess
+        bmin = self._block_min
         nblocks = len(self._block_total)
+        b = block + 1
         while b < nblocks:
-            start_exc = int(self._block_start_excess[b])
-            if start_exc + int(self._block_min[b]) <= target:
-                lo = b * _BLOCK
-                bhi = min(lo + _BLOCK, self._m)
-                exc = start_exc
-                for j in range(lo, bhi):
-                    exc += 1 if self._bit(j) else -1
-                    if exc == target:
-                        return j
+            start_exc = int(bse[b])
+            if start_exc + int(bmin[b]) <= target:
+                hit = self._scan_fwd(
+                    (b * _BLOCK) >> 3,
+                    min((b + 1) * _BLOCK, m + 7) >> 3,
+                    start_exc,
+                    target,
+                )
+                if 0 <= hit < m:
+                    return hit
             b += 1
         raise ValueError(f"unbalanced parentheses: no close for {p}")
 
+    def _scan_fwd(self, bi: int, bhi: int, cur: int, target: int) -> int:
+        """First position in bytes ``[bi, bhi)`` where the running excess
+        (``cur`` at byte ``bi``'s start) drops to ``target``; -1 if none."""
+        bts = self.bv._bytes
+        minpre = _B_MINPRE
+        exc = _B_EXC
+        while bi < bhi:
+            b = bts[bi]
+            if cur + minpre[b] <= target:
+                base = bi << 3
+                for k in range(8):
+                    cur += 1 if (b >> k) & 1 else -1
+                    if cur == target:
+                        return base + k
+            else:
+                cur += exc[b]
+            bi += 1
+        return -1
+
     def enclose(self, p: int) -> int:
         """Opening position of the smallest pair strictly enclosing ``p``."""
-        if self._bit(p) != 1:
+        bts = self.bv._bytes
+        if not (bts[p >> 3] >> (p & 7)) & 1:
             raise ValueError(f"position {p} is not an opening parenthesis")
         target = self._excess(p) - 1  # excess just before the enclosing '('
         if target < 0:
             return -1
+        # Bit-scan backwards to p's byte boundary.
+        cur = target + 1  # excess of prefix [0, p)... plus the scan invariant
+        j = p - 1
+        byte_start = (p >> 3) * 8
+        while j >= byte_start:
+            bit = (bts[j >> 3] >> (j & 7)) & 1
+            prev = cur - (1 if bit else -1)
+            if prev == target and bit:
+                return j
+            cur = prev
+            j -= 1
+        # Byte-scan backwards through p's block.
         block = p // _BLOCK
-        lo = block * _BLOCK
-        exc = self._excess(p)
-        i = p - 1
-        while i >= lo:
-            prev = exc - (1 if self._bit(i) else -1)
-            if prev == target and self._bit(i) == 1:
-                return i
-            exc = prev
-            i -= 1
+        hit = self._scan_bwd((byte_start >> 3) - 1, (block * _BLOCK) >> 3, cur, target)
+        if hit >= 0:
+            return hit
+        # Block jumps: only blocks whose interior excess window reaches
+        # the target are scanned; a block whose *start* excess alone
+        # matches cannot contain the answer anywhere but its first
+        # position, which is checked in O(1) (no scan).
+        bse = self._block_start_excess
+        bmin = self._block_min
+        bmax = self._block_max
         b = block - 1
         while b >= 0:
-            start_exc = int(self._block_start_excess[b])
-            if start_exc + int(self._block_min[b]) <= target <= start_exc + int(
-                self._block_max[b]
-            ) or start_exc == target:
-                bhi = min((b + 1) * _BLOCK, self._m)
-                blo = b * _BLOCK
-                exc = int(self._block_start_excess[b + 1])
-                for j in range(bhi - 1, blo - 1, -1):
-                    prev = exc - (1 if self._bit(j) else -1)
-                    if prev == target and self._bit(j) == 1:
-                        return j
-                    exc = prev
+            start_exc = int(bse[b])
+            if start_exc + int(bmin[b]) <= target <= start_exc + int(bmax[b]):
+                hit = self._scan_bwd(
+                    (((b + 1) * _BLOCK) >> 3) - 1,
+                    (b * _BLOCK) >> 3,
+                    int(bse[b + 1]),
+                    target,
+                )
+                if hit >= 0:
+                    return hit
+            elif start_exc == target:
+                pos = b * _BLOCK
+                if (bts[pos >> 3] >> (pos & 7)) & 1:
+                    return pos
             b -= 1
+        return -1
+
+    def _scan_bwd(self, bi: int, blo: int, cur: int, target: int) -> int:
+        """Last position in bytes ``[blo, bi]`` whose preceding excess is
+        ``target`` at an opening parenthesis; ``cur`` is the running
+        excess at byte ``bi``'s *end*.  Returns -1 if none."""
+        bts = self.bv._bytes
+        minsuf = _B_MINSUF
+        maxsuf = _B_MAXSUF
+        exc = _B_EXC
+        while bi >= blo:
+            b = bts[bi]
+            if cur - maxsuf[b] <= target <= cur - minsuf[b]:
+                base = bi << 3
+                c2 = cur
+                for k in range(7, -1, -1):
+                    bit = (b >> k) & 1
+                    prev = c2 - (1 if bit else -1)
+                    if prev == target and bit:
+                        return base + k
+                    c2 = prev
+            cur -= exc[b]
+            bi -= 1
         return -1
 
     # -- node <-> position mapping ------------------------------------------
@@ -242,17 +329,31 @@ class SuccinctTree:
         The engines' hot loops index pointer arrays; this adapter lets a
         document stored succinctly be queried by them, demonstrating that
         the two backends are interchangeable (and what the pointer
-        blow-up buys).
+        blow-up buys).  One linear pass over the parenthesis sequence
+        with an explicit stack -- O(n), not O(n * depth).
         """
-        left = [NIL] * self.n
-        right = [NIL] * self.n
-        parent = [NIL] * self.n
-        xml_end = [0] * self.n
-        for v in range(self.n):
-            left[v] = self.first_child(v)
-            right[v] = self.next_sibling(v)
-            parent[v] = self.parent(v)
-            xml_end[v] = self.xml_end(v)
+        n = self.n
+        left = [NIL] * n
+        right = [NIL] * n
+        parent = [NIL] * n
+        xml_end = [0] * n
+        bts = self.bv._bytes
+        stack: list[list[int]] = []  # [node, last child seen]
+        nid = -1
+        for pos in range(self._m):
+            if (bts[pos >> 3] >> (pos & 7)) & 1:
+                nid += 1
+                if stack:
+                    top = stack[-1]
+                    parent[nid] = top[0]
+                    if top[1] == NIL:
+                        left[top[0]] = nid
+                    else:
+                        right[top[1]] = nid
+                    top[1] = nid
+                stack.append([nid, NIL])
+            else:
+                xml_end[stack.pop()[0]] = nid + 1
         return BinaryTree(
             list(self.labels), list(self.label_of), left, right, parent, xml_end
         )
@@ -265,7 +366,9 @@ class SuccinctTree:
     def memory_bytes(self) -> int:
         """Approximate resident bytes of the topology structures."""
         total = self.bv._words.nbytes
-        total += self.bv._word_prefix.nbytes + self.bv._super.nbytes
+        total += self.bv._word_prefix.nbytes
+        total += self.bv._zero_word_prefix.nbytes
+        total += len(self.bv._bytes) * 8  # byte-mirror (interned-int refs)
         total += (
             self._block_total.nbytes
             + self._block_min.nbytes

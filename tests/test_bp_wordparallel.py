@@ -1,0 +1,164 @@
+"""Regression tests for the word-parallel BP navigation layer.
+
+``findclose``/``enclose`` skip blocks through min/max excess summaries
+and scan candidate blocks byte-at-a-time through 8-bit excess tables;
+``select0``/``select1`` walk byte popcount/select tables below a
+directory search.  These tests pin them against brute-force references
+on structures chosen to cross many blocks -- in particular the deep
+trees where the old ``enclose`` block-skip over-scanned (the
+``start_exc == target`` clause) and where a too-tight window would skip
+the answer entirely.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.index.bitvector import BitVector
+from repro.index.succinct import SuccinctTree, _BLOCK
+from repro.tree.binary import NIL, BinaryTree
+
+
+def _brute_findclose(parens, p):
+    exc = 0
+    for i in range(p, len(parens)):
+        exc += 1 if parens[i] else -1
+        if exc == 0:
+            return i
+    raise AssertionError("unbalanced")
+
+
+def _brute_enclose(parens, p):
+    depth = 0
+    for i in range(p - 1, -1, -1):
+        if parens[i]:
+            depth += 1
+            if depth > 0:
+                return i
+        else:
+            depth -= 1
+    return -1
+
+
+def _parens_of(tree: BinaryTree):
+    out = []
+    stack = [(0, 0)]
+    while stack:
+        v, phase = stack.pop()
+        if phase:
+            out.append(0)
+            continue
+        out.append(1)
+        stack.append((v, 1))
+        for c in reversed(list(tree.children(v))):
+            stack.append((c, 0))
+    return out
+
+
+def _deep_spec(depth, fanout=1):
+    spec = "leaf"
+    for i in range(depth):
+        spec = tuple(["n"] + [spec] + ["pad"] * (fanout - 1))
+    return spec
+
+
+class TestDeepTrees:
+    """Chains deep enough that every query crosses many 256-bit blocks."""
+
+    @pytest.mark.parametrize("depth", [3, 60, 400, 900])
+    def test_enclose_findclose_on_chains(self, depth):
+        tree = BinaryTree.from_spec(_deep_spec(depth))
+        succ = SuccinctTree.from_binary(tree)
+        parens = _parens_of(tree)
+        assert 2 * tree.n > _BLOCK or depth < 200  # deep cases span blocks
+        for v in range(tree.n):
+            p = succ.open_pos(v)
+            assert succ.findclose(p) == _brute_findclose(parens, p)
+            assert succ.enclose(p) == _brute_enclose(parens, p)
+            assert succ.parent(v) == tree.parent[v]
+
+    def test_enclose_block_skip_with_flat_runs(self):
+        """A wide-then-deep shape: long runs of '()' siblings create
+        blocks whose interior never reaches the enclosing target, so the
+        block-skip must take the O(1) start-position path, not scan."""
+        spec = tuple(
+            ["root"]
+            + [("mid", *["leaf"] * 100)]
+            + ["leaf"] * 300
+            + [_deep_spec(80)]
+        )
+        tree = BinaryTree.from_spec(spec)
+        succ = SuccinctTree.from_binary(tree)
+        parens = _parens_of(tree)
+        for v in range(tree.n):
+            p = succ.open_pos(v)
+            assert succ.enclose(p) == _brute_enclose(parens, p)
+            assert succ.findclose(p) == _brute_findclose(parens, p)
+
+    def test_to_binary_roundtrip_deep(self):
+        tree = BinaryTree.from_spec(_deep_spec(700))
+        succ = SuccinctTree.from_binary(tree)
+        back = succ.to_binary()
+        assert back.left == tree.left
+        assert back.right == tree.right
+        assert back.parent == tree.parent
+        assert back.xml_end == tree.xml_end
+
+
+class TestRandomTrees:
+    def test_navigation_matches_pointer_tree(self):
+        rng = random.Random(1234)
+
+        def spec(depth):
+            if depth == 0 or rng.random() < 0.25:
+                return "l" + str(rng.randint(0, 3))
+            kids = [spec(depth - 1) for _ in range(rng.randint(1, 5))]
+            return tuple(["n" + str(rng.randint(0, 3))] + kids)
+
+        for _ in range(60):
+            tree = BinaryTree.from_spec(spec(6))
+            succ = SuccinctTree.from_binary(tree)
+            for v in range(tree.n):
+                assert succ.first_child(v) == tree.first_child(v)
+                assert succ.next_sibling(v) == tree.next_sibling(v)
+                assert succ.parent(v) == tree.parent[v]
+                assert succ.xml_end(v) == tree.xml_end[v]
+
+
+class TestSelectDirectories:
+    def test_select0_uses_zero_directory(self):
+        rng = random.Random(7)
+        bits = [rng.random() < 0.7 for _ in range(3000)]
+        bv = BitVector(bits)
+        zeros = [i for i, b in enumerate(bits) if not b]
+        for k in range(len(zeros)):
+            assert bv.select0(k) == zeros[k]
+        with pytest.raises(IndexError):
+            bv.select0(len(zeros))
+
+    def test_select1_byte_tables(self):
+        rng = random.Random(8)
+        bits = [rng.random() < 0.3 for _ in range(3000)]
+        bv = BitVector(bits)
+        ones = [i for i, b in enumerate(bits) if b]
+        for k in range(len(ones)):
+            assert bv.select1(k) == ones[k]
+
+    def test_fast_path_constructors_agree(self):
+        import numpy as np
+
+        bits = [1, 0, 1, 1, 0, 0, 1] * 41
+        from_list = BitVector(bits)
+        from_np = BitVector(np.array(bits, dtype=np.uint8))
+        from_bytes = BitVector(bytes(bits))
+        for bv in (from_np, from_bytes):
+            assert bv.n == from_list.n
+            assert bv.total_ones == from_list.total_ones
+            for i in range(bv.n):
+                assert bv.get(i) == from_list.get(i)
+            for k in range(bv.total_ones):
+                assert bv.select1(k) == from_list.select1(k)
+            for i in range(0, bv.n, 13):
+                assert bv.rank1(i) == from_list.rank1(i)

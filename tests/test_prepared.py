@@ -75,8 +75,20 @@ class TestExecutionResult:
         plan = engine.prepare("//a//b")
         r1, r2 = plan.execute(), plan.execute()
         assert r1.stats is not r2.stats
-        assert r1.stats.snapshot() == r2.stats.snapshot()
-        assert r1.stats.selected == 2
+        assert r1.stats.selected == r2.stats.selected == 2
+        assert r1.stats.visited == r2.stats.visited
+        assert r1.stats.jumps == r2.stats.jumps
+
+    def test_prepared_plan_keeps_warmed_memo_tables(self):
+        engine = Engine(XML)
+        plan = engine.prepare("//a//b")
+        r1, r2 = plan.execute(), plan.execute()
+        # The first execution fills the interned tables; the second runs
+        # entirely against them (same answers, zero new insertions).
+        assert list(r1.ids) == list(r2.ids)
+        assert r1.stats.memo_entries > 0
+        assert r2.stats.memo_entries == 0
+        assert r2.stats.memo_hits >= r1.stats.memo_hits
 
     def test_no_last_stats_race_between_plans(self):
         engine = Engine(XML)
