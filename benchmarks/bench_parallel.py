@@ -1,0 +1,160 @@
+"""Serial-vs-parallel wall clock for the fig-4 XMark batch mix.
+
+Run as pytest (the CI ``parallel-smoke`` job does, at a small scale)::
+
+    REPRO_BENCH_SCALE=0.2 pytest benchmarks/bench_parallel.py -q
+
+The correctness assertions are blocking -- the sharded service must
+return exactly the serial ``Workspace.select_many`` answer *and* the
+naive oracle's answer for every query of the mix -- while the timings
+are recorded into ``BENCH_parallel.json`` without being asserted:
+wall-clock speedup depends on the physical core count (recorded in the
+artifact), and shared CI runners are noise.  Set
+``REPRO_BENCH_ASSERT_SPEEDUP=1`` on a machine with >= 4 cores to also
+assert the >= 2x process-pool speedup target.
+
+Run as a script to (re)generate the committed ``BENCH_parallel.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.engine.api import Engine
+from repro.engine.workspace import Workspace
+from repro.index.jumping import TreeIndex
+from repro.xmark.generator import XMarkGenerator
+from repro.xmark.queries import QUERIES
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "5"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+# Default to a non-tracked path so a smoke run never clobbers the
+# committed artifact (regenerate that with `python benchmarks/bench_parallel.py`).
+OUT = os.environ.get("REPRO_BENCH_OUT", "BENCH_parallel.smoke.json")
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best-of-N wall clock in milliseconds (after one warm-up call)."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1000.0
+
+
+def build_report(
+    scale: float = SCALE, repeats: int = REPEATS, jobs: int = JOBS
+) -> dict:
+    """Measure the mix serially and on both pool flavours; verify identity."""
+    index = TreeIndex(XMarkGenerator(scale=scale, seed=42).tree())
+    queries = list(QUERIES.values())
+    workspace = Workspace()
+    workspace.add("xmark", index)
+
+    naive = Engine(index, strategy="naive")
+    oracle = {
+        qid: list(naive.prepare(q).execute().ids)
+        for qid, q in QUERIES.items()
+    }
+
+    serial = workspace.select_many(queries, document="xmark")
+    assert {q: serial[q] for q in serial} == {
+        QUERIES[qid]: ids for qid, ids in oracle.items()
+    }, "serial batch disagrees with the naive oracle"
+
+    report = {
+        "benchmark": "fig-4 XMark batch mix (Q01-Q15), select_many",
+        "scale": scale,
+        "nodes": index.tree.n,
+        "queries": len(queries),
+        "jobs": jobs,
+        "cores": os.cpu_count(),
+        "repeats": repeats,
+        "oracle_match": True,
+        "modes": {},
+    }
+    serial_ms = _best_of(
+        lambda: workspace.select_many(queries, document="xmark"), repeats
+    )
+    report["modes"]["serial"] = {"ms": round(serial_ms, 3)}
+
+    # One worker, inline: total sharded work.  (sharded_1worker / serial)
+    # is the work-inflation factor of the rewrite+merge machinery, and
+    # sharded_1worker / jobs is the scheduling lower bound a pool chases
+    # -- this is what makes the artifact interpretable on any core count.
+    single = workspace.service(jobs=1)
+    inline = single.select_many(queries, document="xmark")
+    assert inline == serial, "single-worker sharded results differ"
+    inline_ms = _best_of(
+        lambda: single.select_many(queries, document="xmark"), repeats
+    )
+    report["modes"]["sharded_1worker"] = {
+        "ms": round(inline_ms, 3),
+        "shards": len(single.doc_shards("xmark")),
+        "identical_to_serial": True,
+        "work_inflation_vs_serial": round(inline_ms / serial_ms, 3),
+    }
+    report["note"] = (
+        "wall-clock speedup needs physical cores; compare 'cores' above. "
+        "The 4-worker scheduling bound is roughly sharded_1worker/4 "
+        "(see DESIGN.md, 'Parallel sharded execution')."
+    )
+
+    for executor in ("thread", "process"):
+        service = workspace.service(jobs=jobs, executor=executor)
+        parallel = service.select_many(queries, document="xmark")
+        assert parallel == serial, f"{executor} results differ from serial"
+        ms = _best_of(
+            lambda: service.select_many(queries, document="xmark"), repeats
+        )
+        report["modes"][executor] = {
+            "ms": round(ms, 3),
+            "shards": len(service.doc_shards("xmark")),
+            "identical_to_serial": True,
+            "speedup_vs_serial": round(serial_ms / ms, 3),
+        }
+    workspace.close()
+    return report
+
+
+def _write(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def test_parallel_batch_identical_to_serial_and_oracle():
+    """Blocking: result identity for both executors; timings recorded."""
+    report = build_report()
+    for executor in ("thread", "process"):
+        assert report["modes"][executor]["identical_to_serial"]
+    assert report["oracle_match"]
+    _write(report, OUT)
+    if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1":
+        speedup = report["modes"]["process"]["speedup_vs_serial"]
+        assert speedup >= 2.0, (
+            f"process pool speedup {speedup}x < 2x "
+            f"(cores={report['cores']}, jobs={report['jobs']})"
+        )
+
+
+if __name__ == "__main__":
+    out = os.environ.get("REPRO_BENCH_OUT", "BENCH_parallel.json")
+    report = build_report()
+    _write(report, out)
+    for mode, rec in report["modes"].items():
+        extra = (
+            f"  {rec['speedup_vs_serial']:.2f}x vs serial"
+            if "speedup_vs_serial" in rec
+            else ""
+        )
+        print(f"{mode:8s} {rec['ms']:9.3f} ms{extra}")
+    print(
+        f"wrote {out} (scale={report['scale']}, nodes={report['nodes']}, "
+        f"jobs={report['jobs']}, cores={report['cores']})"
+    )

@@ -35,6 +35,7 @@ paper-vs-measured record lives in :mod:`repro.bench.experiments`.
 
 from repro.counters import EvalStats
 from repro.engine.api import Engine, evaluate
+from repro.engine.parallel import QueryService
 from repro.engine.plan import ExecutionResult, PreparedQuery
 from repro.engine.registry import Strategy, register_strategy, strategy_names
 from repro.engine.workspace import Workspace
@@ -64,5 +65,6 @@ __all__ = [
     "register_strategy",
     "strategy_names",
     "Workspace",
+    "QueryService",
     "__version__",
 ]

@@ -7,6 +7,7 @@ Examples::
     cat doc.xml | python -m repro.cli '/site/regions' --strategy hybrid
     python -m repro.cli '//a[b]' doc.xml --explain
     python -m repro.cli --list-strategies
+    python -m repro.cli batch --queries queries.txt --jobs 4 --xmark 0.5
 """
 
 from __future__ import annotations
@@ -84,8 +85,168 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description=(
+            "run a batch of queries over one document on a sharded "
+            "worker pool (repro.engine.parallel.QueryService)"
+        ),
+    )
+    parser.add_argument(
+        "file",
+        nargs="?",
+        help="XML document (default: stdin, unless --xmark is given)",
+    )
+    parser.add_argument(
+        "--queries",
+        required=True,
+        metavar="FILE",
+        help=(
+            "query file: one query per line, optionally 'name<TAB>query'; "
+            "blank lines and #-comments are skipped"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count (default: the machine's CPU count)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="target shard count per document (default: 2 * jobs)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker pool flavour (default: thread)",
+    )
+    parser.add_argument(
+        "--xmark",
+        type=float,
+        metavar="SCALE",
+        help="query a generated XMark document instead of a file",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=registry.strategy_names(),
+        default="optimized",
+        help="evaluation strategy (default: optimized)",
+    )
+    parser.add_argument(
+        "--count", action="store_true", help="emit result counts, not id lists"
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="emit aggregated per-query counters as JSON on stderr",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="seed for --xmark (default 42)"
+    )
+    return parser
+
+
+def _read_queries(path: str) -> List[tuple]:
+    """Parse a batch query file into (name, query) pairs.
+
+    Raises ``ValueError`` on duplicate names -- silently overwriting a
+    result under a reused key would drop a query from the report.
+    """
+    out: List[tuple] = []
+    seen = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            name, sep, rest = line.partition("\t")
+            if sep and rest.strip():
+                name, query = name.strip(), rest.strip()
+            else:
+                name, query = f"q{lineno}", line
+            if name in seen:
+                raise ValueError(
+                    f"duplicate query name {name!r} on line {lineno} of "
+                    f"{path} (first used on line {seen[name]})"
+                )
+            seen[name] = lineno
+            out.append((name, query))
+    return out
+
+
+def batch_main(argv: List[str], out) -> int:
+    from repro.engine.workspace import Workspace
+
+    parser = build_batch_parser()
+    args = parser.parse_args(argv)
+    if args.file and args.xmark is not None:
+        parser.error("give either a document file or --xmark, not both")
+    try:
+        named = _read_queries(args.queries)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not named:
+        print(f"error: no queries in {args.queries}", file=sys.stderr)
+        return 1
+
+    if args.xmark is not None:
+        doc = XMarkGenerator(scale=args.xmark, seed=args.seed).document()
+    else:
+        text = (
+            open(args.file, "r", encoding="utf-8").read()
+            if args.file
+            else sys.stdin.read()
+        )
+        try:
+            doc = parse_xml(text)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    workspace = Workspace(strategy=args.strategy)
+    workspace.add("doc", doc)
+    try:
+        service = workspace.service(
+            jobs=args.jobs, executor=args.executor, shards=args.shards
+        )
+        results = {}
+        stats = {}
+        for name, query in named:
+            result = service.execute(query, "doc")
+            results[name] = (
+                len(result.ids) if args.count else list(result.ids)
+            )
+            stats[name] = dict(result.stats.snapshot(), query=query)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        workspace.close()
+    payload = {
+        "document": args.file or ("xmark" if args.xmark is not None else "stdin"),
+        "jobs": service.jobs,
+        "shards": len(service.doc_shards("doc")),
+        "executor": args.executor,
+        "strategy": args.strategy,
+        "results": results,
+    }
+    print(json.dumps(payload, sort_keys=True), file=out)
+    if args.stats:
+        print(json.dumps(stats, sort_keys=True), file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:], out)
     parser = build_parser()
     args = parser.parse_args(argv)
 

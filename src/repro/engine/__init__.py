@@ -27,13 +27,16 @@ Every engine doubles as a *strategy plugin*: it registers itself in
 :mod:`repro.engine.registry`, declares which query fragment it supports,
 and names its fallback.  :mod:`repro.engine.api` is the one-document
 public interface on top (with :class:`~repro.engine.plan.PreparedQuery`
-for parse/compile-once reuse), and :mod:`repro.engine.workspace` the
-multi-document batch interface.
+for parse/compile-once reuse), :mod:`repro.engine.workspace` the
+multi-document batch interface, and :mod:`repro.engine.parallel` the
+sharded worker-pool service that scales batches and broadcasts across
+cores with results identical to serial execution.
 """
 
 from repro.engine.api import Engine, evaluate
 from repro.engine.core import run_asta
 from repro.engine.hybrid import hybrid_evaluate
+from repro.engine.parallel import QueryService, Shard, shard_document
 from repro.engine.plan import CompiledQueryCache, ExecutionResult, PreparedQuery
 from repro.engine.registry import (
     Strategy,
@@ -56,4 +59,7 @@ __all__ = [
     "register_strategy",
     "strategy_names",
     "Workspace",
+    "QueryService",
+    "Shard",
+    "shard_document",
 ]

@@ -20,6 +20,7 @@ for many documents sharing one compiled-query cache use
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.asta.automaton import ASTA
@@ -93,6 +94,7 @@ class Engine:
         self.index = index if index is not None else TreeIndex(tree)
         self.cache = cache if cache is not None else CompiledQueryCache()
         self._plans: Dict[Tuple[str, str], PreparedQuery] = {}
+        self._plans_lock = threading.Lock()
         self._plans_generation = registry.generation()
         self.set_strategy(strategy)
         self.last_stats: Optional[EvalStats] = None
@@ -127,21 +129,26 @@ class Engine:
 
         Plans are cached per ``(query, strategy)``: preparing the same
         query twice returns the same object, and ``execute()`` on it does
-        zero re-parsing and zero re-compilation.
+        zero re-parsing and zero re-compilation.  The plan cache is
+        guarded by a lock so pool threads of a
+        :class:`~repro.engine.parallel.QueryService` can prepare
+        different queries on one shard engine concurrently without
+        duplicating plans or racing the generation check.
         """
         name = strategy if strategy is not None else self.strategy
-        if self._plans_generation != registry.generation():
-            # A strategy was (re/un)registered: cached resolutions and
-            # strategy objects may be stale.
-            self._plans.clear()
-            self._plans_generation = registry.generation()
-        key = (query if isinstance(query, str) else str(query), name)
-        plan = self._plans.get(key)
-        if plan is None:
-            path = parse_xpath(query) if isinstance(query, str) else query
-            resolved = registry.resolve(name, path)
-            plan = PreparedQuery(self, query, path, resolved)
-            self._plans[key] = plan
+        with self._plans_lock:
+            if self._plans_generation != registry.generation():
+                # A strategy was (re/un)registered: cached resolutions and
+                # strategy objects may be stale.
+                self._plans.clear()
+                self._plans_generation = registry.generation()
+            key = (query if isinstance(query, str) else str(query), name)
+            plan = self._plans.get(key)
+            if plan is None:
+                path = parse_xpath(query) if isinstance(query, str) else query
+                resolved = registry.resolve(name, path)
+                plan = PreparedQuery(self, query, path, resolved)
+                self._plans[key] = plan
         return plan
 
     def execute(self, query: Union[str, Path]) -> ExecutionResult:

@@ -27,15 +27,28 @@ from repro.xpath.ast import Path
 from repro.xpath.compiler import compile_xpath
 from repro.xpath.parser import parse_xpath
 
-_tdsta_cache: Dict[str, STA] = {}
+_tdsta_cache: Dict[Tuple[str, Optional[Tuple[str, ...]]], STA] = {}
 
 
-def compile_tdsta(query: Union[str, Path]) -> STA:
-    """Minimal complete TDSTA for a predicate-free path query (cached)."""
-    key = query if isinstance(query, str) else str(query)
+def compile_tdsta(
+    query: Union[str, Path], wildcard_labels: Optional[List[str]] = None
+) -> STA:
+    """Minimal complete TDSTA for a predicate-free path query (cached).
+
+    Like the shared :class:`~repro.engine.plan.CompiledQueryCache`, the
+    cache key includes the wildcard label inventory: on documents with
+    encoded ``@attribute``/``#text`` labels the ``*`` test must compile
+    against the element labels only, not match every label.
+    """
+    inventory = (
+        None
+        if wildcard_labels is None
+        else tuple(sorted(set(wildcard_labels)))
+    )
+    key = (query if isinstance(query, str) else str(query), inventory)
     sta = _tdsta_cache.get(key)
     if sta is None:
-        asta = compile_xpath(query)
+        asta = compile_xpath(query, wildcard_labels=wildcard_labels)
         sta = minimize_tdsta(path_tdsta(asta))
         _tdsta_cache[key] = sta
     return sta
@@ -61,9 +74,16 @@ def evaluate(
     query: Union[str, Path],
     index: TreeIndex,
     stats: Optional[EvalStats] = None,
+    wildcard_labels: Optional[List[str]] = None,
 ) -> Tuple[bool, List[int]]:
-    """(accepted, selected ids) via the minimal-TDSTA jumping run."""
-    return run_tdsta(compile_tdsta(query), index, stats)
+    """(accepted, selected ids) via the minimal-TDSTA jumping run.
+
+    On documents with encoded ``@attribute``/``#text`` labels pass the
+    element-label inventory as ``wildcard_labels`` (as
+    :class:`~repro.engine.api.Engine` does), or ``*`` tests will match
+    the encoded labels too.
+    """
+    return run_tdsta(compile_tdsta(query, wildcard_labels), index, stats)
 
 
 def evaluate_bottomup_filter(
@@ -120,7 +140,12 @@ class DeterministicStrategy(StrategyBase):
         return True
 
     def prepare(self, plan) -> None:
-        plan.artifacts["tdsta"] = compile_tdsta(plan.path)
+        # Compile against the engine's wildcard inventory (encoded
+        # documents restrict '*' to element labels); path-shapedness is
+        # label-set-independent, so the supports() check above stands.
+        plan.artifacts["tdsta"] = compile_tdsta(
+            plan.path, plan.engine._wildcard_labels()
+        )
 
     def execute(self, plan, index, stats):
         return run_tdsta(plan.artifacts["tdsta"], index, stats)

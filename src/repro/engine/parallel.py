@@ -1,0 +1,699 @@
+"""Parallel sharded query execution: batches and broadcasts on a pool.
+
+:class:`QueryService` scales a :class:`~repro.engine.workspace.Workspace`
+to batch and multi-core execution.  Each document is split into *shards*
+-- contiguous groups of whole top-level subtrees, re-rooted under a copy
+of the document root (:meth:`repro.index.jumping.TreeIndex.shard_slice`).
+Every shard carries its own sliced label index (and, on demand, its own
+balanced-parentheses structure via :meth:`Shard.succinct`) plus the
+global preorder offset that maps local ids back to document ids.
+``(shard, prepared-query)`` tasks fan out to a ``ThreadPoolExecutor`` by
+default, or to an opt-in process pool (``executor="process"``) whose
+workers rebuild engines from the picklable shard indexes; per-shard
+selected sets merge back into document order, byte-identical to serial
+execution.
+
+Correct sharding is a query rewrite, not just a data split.  For an
+absolute forward path ``s1/s2/.../sk`` every context chain touches the
+document root at most once -- in the first context set ``C1`` -- because
+all forward steps from an element move strictly downward and the root
+has no siblings.  The service therefore:
+
+1. resolves the *root gate* serially on the full document: one cheap
+   prepared execution of ``/child::test1[pred1]`` decides whether the
+   root belongs to ``C1`` (jumping makes this an existence probe, and it
+   is the only place a predicate spans shard boundaries);
+2. runs rewritten queries on each shard:
+   ``/child::node()/descendant::test1[pred1]/s2/...`` covers chains
+   entering through a non-root match of a ``descendant`` first step
+   (those matches and all their predicate witnesses live inside one
+   shard), and ``/child::node()/s2/...`` -- enabled only when the root
+   gate holds -- covers chains that start at the root;
+3. merges: the root itself (iff the gate holds and the path has one
+   step), then each shard's ids shifted by its offset, concatenated in
+   shard order.  Shard ranges are disjoint preorder slices, so the
+   concatenation *is* document order.
+
+Queries outside the rewrite's fragment -- backward axes, any
+``following-sibling`` step (depth-1 siblings straddle shards), absolute
+paths inside predicates, or relative top-level paths -- are not sharded;
+they run as whole-document tasks on the pool, which still parallelizes
+them across the batch.  Degenerate documents (a bare root) have no
+shards and short-circuit to the root gate.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.counters import EvalStats
+from repro.engine import registry
+from repro.engine.api import Engine
+from repro.engine.plan import ExecutionResult
+from repro.index.jumping import TreeIndex
+from repro.xpath.ast import (
+    Axis,
+    Path,
+    Pred,
+    PredAnd,
+    PredNot,
+    PredOr,
+    PredPath,
+    Step,
+)
+from repro.xpath.parser import parse_xpath
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.workspace import Workspace
+
+Query = Union[str, Path]
+
+_ROOT_STEP = Step(Axis.CHILD, "node()", None)
+"""From the document node, ``child::node()`` selects exactly the root."""
+
+
+# -- shards -----------------------------------------------------------------
+
+
+@dataclass
+class Shard:
+    """One re-rooted slice of a document plus its global placement.
+
+    ``index.tree`` node 0 is a copy of the document root; local node
+    ``l >= 1`` is global node ``l + offset``.  Shards of one document
+    cover pairwise-disjoint preorder ranges ``[lo, hi)`` in ascending
+    ``ordinal`` order.
+    """
+
+    ordinal: int
+    lo: int
+    hi: int
+    index: TreeIndex
+    _succinct: object = field(default=None, repr=False, compare=False)
+
+    @property
+    def offset(self) -> int:
+        """Global preorder offset: global id = local id + offset."""
+        return self.lo - 1
+
+    def __len__(self) -> int:
+        return self.index.tree.n
+
+    def succinct(self):
+        """The shard's own balanced-parentheses structure (lazy).
+
+        Built once per shard from its re-rooted tree; interchangeable
+        with the pointer tree behind the navigation API (node ids are
+        the shard-local preorder numbers).
+        """
+        if self._succinct is None:
+            from repro.index.succinct import SuccinctTree
+
+            self._succinct = SuccinctTree.from_binary(self.index.tree)
+        return self._succinct
+
+
+def shard_document(index: TreeIndex, parts: Optional[int] = None) -> List[Shard]:
+    """Split a document into up to ``parts`` shards at top-level children.
+
+    Consecutive top-level subtrees are grouped greedily so the shards
+    have roughly equal node counts; ``parts=None`` gives one shard per
+    top-level child.  A document whose root has no element children
+    returns no shards (the degenerate case the service resolves through
+    the root gate alone).
+    """
+    tree = index.tree
+    children = list(tree.children(tree.root()))
+    if not children:
+        return []
+    if parts is not None and parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    groups: List[Tuple[int, int]] = []
+    if parts is None or parts >= len(children):
+        groups = [(c, tree.xml_end[c]) for c in children]
+    else:
+        total = sum(tree.xml_end[c] - c for c in children)
+        target = total / parts
+        acc = 0
+        start = children[0]
+        for i, c in enumerate(children):
+            acc += tree.xml_end[c] - c
+            remaining_groups = parts - len(groups) - 1
+            remaining_children = len(children) - i - 1
+            if (acc >= target and remaining_groups > 0) or (
+                remaining_children <= remaining_groups
+            ):
+                groups.append((start, tree.xml_end[c]))
+                acc = 0
+                if i + 1 < len(children):
+                    start = children[i + 1]
+        if acc > 0:
+            groups.append((start, tree.xml_end[children[-1]]))
+    return [
+        Shard(ordinal, lo, hi, index.shard_slice(lo, hi))
+        for ordinal, (lo, hi) in enumerate(groups)
+    ]
+
+
+# -- query rewrite ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardQueryPlan:
+    """How one query runs under sharding (see the module docstring)."""
+
+    query: str
+    path: Path
+    shardable: bool
+    reason: str = ""
+    root_probe: Optional[Path] = None
+    include_root_if_gate: bool = False
+    paths_always: Tuple[Path, ...] = ()
+    paths_gated: Tuple[Path, ...] = ()
+
+    def shard_paths(self, root_gate: bool) -> Tuple[Path, ...]:
+        """The rewritten per-shard queries given the root-gate outcome."""
+        return self.paths_always + (self.paths_gated if root_gate else ())
+
+
+def _unshardable_reason(path: Path) -> Optional[str]:
+    """Why ``path`` must run whole-document, or None if it can shard."""
+    if not path.absolute:
+        return "relative top-level path"
+    if not path.steps:
+        return "empty path"
+    if path.has_backward_axes():
+        return "backward axes (mixed pipeline)"
+    first = path.steps[0].axis
+    if first not in (Axis.CHILD, Axis.DESCENDANT):
+        return f"first step on the {first.value} axis"
+    return _forbidden_in(path)
+
+
+def _forbidden_in(path: Path) -> Optional[str]:
+    for step in path.steps:
+        if step.axis is Axis.FOLLOWING_SIBLING:
+            # Depth-1 siblings straddle shard boundaries.
+            return "following-sibling step"
+        if step.predicate is not None:
+            reason = _forbidden_in_pred(step.predicate)
+            if reason:
+                return reason
+    return None
+
+
+def _forbidden_in_pred(pred: Pred) -> Optional[str]:
+    if isinstance(pred, (PredAnd, PredOr)):
+        return _forbidden_in_pred(pred.left) or _forbidden_in_pred(pred.right)
+    if isinstance(pred, PredNot):
+        return _forbidden_in_pred(pred.inner)
+    if isinstance(pred, PredPath):
+        if pred.path.absolute:
+            # Evaluates from the document node, i.e. over every shard.
+            return "absolute path inside a predicate"
+        return _forbidden_in(pred.path)
+    return None
+
+
+def plan_shard_query(query: Query) -> ShardQueryPlan:
+    """Rewrite ``query`` into its root probe and per-shard queries."""
+    path = parse_xpath(query) if isinstance(query, str) else query
+    qkey = query if isinstance(query, str) else str(query)
+    reason = _unshardable_reason(path)
+    if reason is not None:
+        return ShardQueryPlan(qkey, path, shardable=False, reason=reason)
+    s1 = path.steps[0]
+    rest = path.steps[1:]
+    probe = Path(True, (Step(Axis.CHILD, s1.test, s1.predicate),))
+    from_root = (Path(True, (_ROOT_STEP,) + rest),) if rest else ()
+    if s1.axis is Axis.CHILD:
+        # C1 is at most {root}; everything else hangs off the gate.
+        paths_always: Tuple[Path, ...] = ()
+    else:
+        # Non-root matches of a descendant first step (and all their
+        # predicate witnesses) live entirely inside one shard.
+        descend = Step(Axis.DESCENDANT, s1.test, s1.predicate)
+        paths_always = (Path(True, (_ROOT_STEP, descend) + rest),)
+    return ShardQueryPlan(
+        qkey,
+        path,
+        shardable=True,
+        root_probe=probe,
+        include_root_if_gate=not rest,
+        paths_always=paths_always,
+        paths_gated=from_root,
+    )
+
+
+def _sorted_union(parts: List[Sequence[int]]) -> List[int]:
+    """Union of sorted duplicate-free id sequences, still sorted."""
+    if not parts:
+        return []
+    if len(parts) == 1:
+        return list(parts[0])
+    a, b = parts if len(parts) == 2 else (parts[0], _sorted_union(parts[1:]))
+    out: List[int] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        x, y = a[i], b[j]
+        if x <= y:
+            out.append(x)
+            i += 1
+            j += x == y
+        else:
+            out.append(y)
+            j += 1
+    out.extend(a[i:])
+    out.extend(b[j:])
+    return out
+
+
+def _run_paths(
+    engine: Engine, paths: Sequence[Path], offset: int
+) -> Tuple[List[int], EvalStats, bool]:
+    """Execute rewritten paths on one shard engine; global ids + counters."""
+    stats = EvalStats()
+    accepted = False
+    parts: List[Sequence[int]] = []
+    for path in paths:
+        result = engine.execute(path)
+        stats.merge(result.stats)
+        accepted = accepted or result.accepted
+        if result.ids:
+            parts.append(result.ids)
+    ids = _sorted_union(parts)
+    if offset:
+        ids = [v + offset for v in ids]
+    return ids, stats, accepted
+
+
+# -- process-pool worker side ----------------------------------------------
+
+_WORKER: dict = {}
+
+
+def _worker_init(docs: Dict[str, Tuple[TreeIndex, List[Shard]]], strategy: str) -> None:
+    """Process-pool initializer: receive the (picklable) shard indexes.
+
+    Under the ``fork`` start method the payload is inherited copy-on-
+    write; under ``spawn`` it travels by pickle -- shard trees, label
+    arrays, and fused caches are all plain containers of ints/ndarrays.
+    """
+    _WORKER["docs"] = docs
+    _WORKER["strategy"] = strategy
+    _WORKER["engines"] = {}
+
+
+def _worker_engine(doc: str, ordinal: Optional[int]) -> Engine:
+    engines: dict = _WORKER["engines"]
+    key = (doc, ordinal)
+    engine = engines.get(key)
+    if engine is None:
+        full_index, shards = _WORKER["docs"][doc]
+        index = full_index if ordinal is None else shards[ordinal].index
+        engine = Engine(index, strategy=_WORKER["strategy"])
+        engines[key] = engine
+    return engine
+
+
+def _worker_run(
+    doc: str, ordinal: Optional[int], offset: int, path_strs: Tuple[str, ...]
+) -> Tuple[List[int], dict, bool]:
+    """One pool task: run rewritten paths on a shard (or the whole doc)."""
+    engine = _worker_engine(doc, ordinal)
+    paths = [parse_xpath(p) for p in path_strs]
+    ids, stats, accepted = _run_paths(engine, paths, offset)
+    return ids, stats.snapshot(), accepted
+
+
+# -- the service ------------------------------------------------------------
+
+
+class QueryService:
+    """Parallel batch/broadcast execution over a workspace's documents.
+
+    Parameters
+    ----------
+    workspace:
+        The :class:`~repro.engine.workspace.Workspace` whose documents
+        (and shared compiled-query cache, for the thread executor) the
+        service uses.
+    jobs:
+        Worker count (default: ``os.cpu_count()``).  ``jobs=1`` still
+        routes through the service machinery but runs tasks inline.
+    shards:
+        Target shard count per document (default ``2 * jobs``, for
+        scheduling slack); capped at the number of top-level children.
+    executor:
+        ``"thread"`` (default) shares shard engines and the workspace's
+        compiled-query cache across pool threads -- the right choice
+        when evaluation releases the GIL or tasks interleave with I/O.
+        ``"process"`` starts workers that rebuild engines from the
+        picklable shard indexes -- the right choice for CPU-bound
+        pure-Python evaluation on multiple cores.
+    mp_start_method:
+        Start method for the process pool (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); ``None`` uses the platform default --
+        forking a process that already runs threads is unsafe, so the
+        service never second-guesses the platform here.  Under spawn
+        the shard payload travels by pickle and workers re-import the
+        registry, so strategies registered at runtime need ``fork``.
+
+    Results are byte-identical to the serial :class:`Workspace` paths:
+    ``select_many``/``select_all`` return the same shapes, and
+    :meth:`execute` returns an :class:`ExecutionResult` whose ``stats``
+    aggregate every shard's counters (plus the root probe's).
+    """
+
+    def __init__(
+        self,
+        workspace: "Workspace",
+        *,
+        jobs: Optional[int] = None,
+        shards: Optional[int] = None,
+        executor: str = "thread",
+        mp_start_method: Optional[str] = None,
+    ) -> None:
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
+        self.workspace = workspace
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.shard_target = shards if shards is not None else 2 * self.jobs
+        self.executor = executor
+        self.mp_start_method = mp_start_method
+        self._shards: Dict[str, List[Shard]] = {}
+        self._plans: Dict[str, ShardQueryPlan] = {}
+        self._shard_engines: Dict[Tuple[str, int], Engine] = {}
+        self._pool = None
+        self._pool_docs: Optional[Tuple[str, ...]] = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def invalidate(self, name: str) -> None:
+        """Forget every cache derived from document ``name``.
+
+        Called by :meth:`Workspace.add`/:meth:`Workspace.remove` so a
+        removed or re-registered document can never be answered from
+        stale shards.  Process pools are torn down (their workers hold a
+        copy of the old shard payload); the thread pool keeps no
+        document state and survives.
+        """
+        stale_pool = None
+        with self._lock:
+            self._shards.pop(name, None)
+            for key in [k for k in self._shard_engines if k[0] == name]:
+                del self._shard_engines[key]
+            if self.executor == "process" and self._pool is not None:
+                stale_pool, self._pool = self._pool, None
+                self._pool_docs = None
+        if stale_pool is not None:
+            stale_pool.shutdown(wait=True)
+
+    # -- sharding -----------------------------------------------------------
+
+    def doc_shards(self, name: str) -> List[Shard]:
+        """The (cached) shards of a registered document."""
+        with self._lock:
+            return self._shards_locked(name)
+
+    def _shards_locked(self, name: str) -> List[Shard]:
+        """Compute-and-cache shards; the service lock must be held."""
+        shards = self._shards.get(name)
+        if shards is None:
+            index = self.workspace.engine(name).index
+            shards = shard_document(index, parts=self.shard_target)
+            self._shards[name] = shards
+        return shards
+
+    def _plan(self, query: Query) -> ShardQueryPlan:
+        qkey = query if isinstance(query, str) else str(query)
+        with self._lock:
+            plan = self._plans.get(qkey)
+            if plan is None:
+                plan = plan_shard_query(query)
+                self._plans[qkey] = plan
+        return plan
+
+    def _shard_engine(self, doc: str, shard: Shard) -> Engine:
+        key = (doc, shard.ordinal)
+        with self._lock:
+            engine = self._shard_engines.get(key)
+            if engine is None:
+                engine = Engine(
+                    shard.index,
+                    strategy=self.workspace.strategy,
+                    cache=self.workspace.cache,
+                )
+                self._shard_engines[key] = engine
+        return engine
+
+    # -- pool ---------------------------------------------------------------
+
+    def _get_pool(self):
+        if self.executor == "thread":
+            with self._lock:
+                if self._pool is None:
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.jobs, thread_name_prefix="repro-qs"
+                    )
+                return self._pool
+        docs = tuple(self.workspace.documents())
+        with self._lock:
+            if self._pool is not None and self._pool_docs != docs:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+            if self._pool is None:
+                self._pool = self._make_process_pool(docs)
+                self._pool_docs = docs
+            return self._pool
+
+    def _make_process_pool(self, docs: Tuple[str, ...]):
+        import multiprocessing
+
+        from concurrent.futures import ProcessPoolExecutor
+
+        payload = {
+            name: (self.workspace.engine(name).index, self._shards_locked(name))
+            for name in docs
+        }
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            # None = the platform default start method; see __init__.
+            mp_context=multiprocessing.get_context(self.mp_start_method),
+            initializer=_worker_init,
+            initargs=(payload, self.workspace.strategy),
+        )
+
+    # -- execution core ------------------------------------------------------
+
+    def execute(self, query: Query, document: str) -> ExecutionResult:
+        """Run one query on one document; merged per-shard result."""
+        return self._run_batch([document], [query])[document][
+            self._qkey(query)
+        ]
+
+    def select(self, query: Query, document: str) -> List[int]:
+        """Selected node ids of ``query`` on the named document."""
+        return list(self.execute(query, document).ids)
+
+    def select_many(
+        self, queries: Iterable[Query], document: Optional[str] = None
+    ) -> Dict[str, object]:
+        """Parallel counterpart of :meth:`Workspace.select_many`."""
+        queries = list(queries)
+        if document is not None:
+            results = self._run_batch([document], queries)[document]
+            return {k: list(r.ids) for k, r in results.items()}
+        out = {}
+        all_results = self._run_batch(self.workspace.documents(), queries)
+        for name, results in all_results.items():
+            out[name] = {k: list(r.ids) for k, r in results.items()}
+        return out
+
+    def select_all(self, query: Query) -> Dict[str, List[int]]:
+        """Parallel counterpart of :meth:`Workspace.select_all`."""
+        results = self._run_batch(self.workspace.documents(), [query])
+        qkey = self._qkey(query)
+        return {name: list(res[qkey].ids) for name, res in results.items()}
+
+    def count_all(self, query: Query) -> Dict[str, int]:
+        """Result cardinality per document, computed on the pool."""
+        results = self._run_batch(self.workspace.documents(), [query])
+        qkey = self._qkey(query)
+        return {name: len(res[qkey].ids) for name, res in results.items()}
+
+    @staticmethod
+    def _qkey(query: Query) -> str:
+        return query if isinstance(query, str) else str(query)
+
+    def _run_batch(
+        self, doc_names: Sequence[str], queries: Sequence[Query]
+    ) -> Dict[str, Dict[str, ExecutionResult]]:
+        """Fan out a (documents x queries) batch; gather merged results."""
+        qkeys: List[str] = []
+        paths: Dict[str, Query] = {}
+        for q in queries:
+            k = self._qkey(q)
+            if k not in paths:
+                qkeys.append(k)
+                paths[k] = q
+        # Validate every document name up front (fail before fan-out).
+        engines = {name: self.workspace.engine(name) for name in doc_names}
+        if not qkeys:
+            return {name: {} for name in doc_names}
+        pool = self._get_pool() if self.jobs > 1 else None
+        # (doc, qkey) -> list of ordered parts; each part is either an
+        # ExecutionResult or a pending task exposing .result().
+        pending: Dict[Tuple[str, str], List[object]] = {}
+        for name in doc_names:
+            shards = self.doc_shards(name)
+            for qkey in qkeys:
+                plan = self._plan(paths[qkey])
+                pending[(name, qkey)] = self._submit_query(
+                    pool, name, engines[name], shards, plan
+                )
+        out: Dict[str, Dict[str, ExecutionResult]] = {}
+        for name in doc_names:
+            per_doc: Dict[str, ExecutionResult] = {}
+            for qkey in qkeys:
+                parts = [
+                    part
+                    if isinstance(part, ExecutionResult)
+                    else part.result()
+                    for part in pending[(name, qkey)]
+                ]
+                per_doc[qkey] = (
+                    parts[0]
+                    if len(parts) == 1
+                    else ExecutionResult.merge(parts)
+                )
+            out[name] = per_doc
+        return out
+
+    def _submit_query(
+        self,
+        pool,
+        doc: str,
+        engine: Engine,
+        shards: List[Shard],
+        plan: ShardQueryPlan,
+    ) -> List[object]:
+        """Submit one (document, query) to the pool; ordered result parts."""
+        resolved = registry.resolve(self.workspace.strategy, plan.path)
+        if not getattr(resolved, "parallel_safe", True):
+            # The strategy keeps run state on itself: run in this thread.
+            return [engine.execute(plan.path)]
+        if not plan.shardable or not shards:
+            if plan.shardable:
+                # Degenerate document (bare root): the root gate is the
+                # whole answer -- see the module docstring.
+                return [self._root_part(engine, plan)[1]]
+            return [self._submit_whole(pool, doc, engine, plan)]
+        gate, root_part = self._root_part(engine, plan)
+        shard_paths = plan.shard_paths(root_gate=gate)
+        parts: List[object] = [root_part]
+        if not shard_paths:
+            return parts
+        for shard in shards:
+            parts.append(
+                self._submit_shard(pool, doc, shard, shard_paths)
+            )
+        return parts
+
+    def _root_part(
+        self, engine: Engine, plan: ShardQueryPlan
+    ) -> Tuple[bool, ExecutionResult]:
+        """Resolve the root gate on the full document (serial, cheap).
+
+        Returns ``(gate, part)``: the part carries the probe's counters,
+        and its ids are ``(0,)`` exactly when the query's only step
+        selects the root.  The gate itself stays out of the part's
+        ``accepted`` flag -- a query whose root gate holds but that
+        selects nothing must still merge to an unaccepted result, as in
+        serial execution.
+        """
+        probe = engine.execute(plan.root_probe)
+        gate = bool(probe.ids)
+        selected = gate and plan.include_root_if_gate
+        return gate, ExecutionResult(
+            accepted=selected, ids=(0,) if selected else (), stats=probe.stats
+        )
+
+    def _submit_whole(
+        self, pool, doc: str, engine: Engine, plan: ShardQueryPlan
+    ) -> object:
+        """A whole-document task (unshardable query): one pool slot."""
+        if pool is None:
+            return engine.execute(plan.path)
+        if self.executor == "thread":
+            return pool.submit(engine.execute, plan.path)
+        future = pool.submit(_worker_run, doc, None, 0, (plan.query,))
+        return _MappedFuture(future)
+
+    def _submit_shard(
+        self, pool, doc: str, shard: Shard, shard_paths: Tuple[Path, ...]
+    ) -> object:
+        if pool is None or self.executor == "thread":
+            engine = self._shard_engine(doc, shard)
+            if pool is None:
+                ids, stats, accepted = _run_paths(
+                    engine, shard_paths, shard.offset
+                )
+                return ExecutionResult(accepted, tuple(ids), stats)
+            return _MappedFuture(
+                pool.submit(_run_paths, engine, shard_paths, shard.offset)
+            )
+        future = pool.submit(
+            _worker_run,
+            doc,
+            shard.ordinal,
+            shard.offset,
+            tuple(str(p) for p in shard_paths),
+        )
+        return _MappedFuture(future)
+
+
+class _MappedFuture:
+    """Adapts a worker future's raw tuple into an :class:`ExecutionResult`.
+
+    Deliberately *not* a :class:`concurrent.futures.Future` subclass --
+    a subclass would inherit ``done()``/``cancel()``/callback machinery
+    operating on its own never-completed state.  This wrapper exposes
+    exactly the one method the gather loop uses.
+
+    Process workers return ``(ids, stats-snapshot, accepted)`` (an
+    :class:`EvalStats` is rebuilt here so the merge path is uniform);
+    thread workers running :func:`_run_paths` return
+    ``(ids, EvalStats, accepted)`` directly.
+    """
+
+    __slots__ = ("_inner",)
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+
+    def result(self, timeout=None) -> ExecutionResult:
+        ids, stats, accepted = self._inner.result(timeout)
+        if isinstance(stats, dict):
+            stats = EvalStats(**stats)
+        return ExecutionResult(accepted, tuple(ids), stats)

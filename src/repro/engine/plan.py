@@ -18,8 +18,9 @@ share one compiled automaton per query.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.asta.automaton import ASTA
 from repro.counters import EvalStats
@@ -36,12 +37,29 @@ class CompiledQueryCache:
     Instruments :attr:`compilations` (cache misses that invoked the
     compiler) and :attr:`hits` so tests and benchmarks can assert that
     prepared queries and workspaces do zero redundant compilation.
+
+    The cache is thread-safe: a :class:`~repro.engine.parallel.QueryService`
+    shares one cache across all shard engines of a workspace, so two pool
+    threads may ask for the same ``(query, inventory)`` key concurrently.
+    Compilation happens under the lock -- the second thread blocks and
+    then reads the first thread's automaton instead of compiling a
+    duplicate.
     """
 
     def __init__(self) -> None:
         self._astas: Dict[Tuple[str, Optional[Tuple[str, ...]]], ASTA] = {}
+        self._lock = threading.Lock()
         self.compilations = 0
         self.hits = 0
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks are not picklable; workers get a fresh one
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._astas)
@@ -70,14 +88,15 @@ class CompiledQueryCache:
         not re-parse the query string.
         """
         key = self._key(query, wildcard_labels)
-        asta = self._astas.get(key)
-        if asta is None:
-            source = parsed if parsed is not None else query
-            asta = compile_xpath(source, wildcard_labels=wildcard_labels)
-            self._astas[key] = asta
-            self.compilations += 1
-        else:
-            self.hits += 1
+        with self._lock:
+            asta = self._astas.get(key)
+            if asta is None:
+                source = parsed if parsed is not None else query
+                asta = compile_xpath(source, wildcard_labels=wildcard_labels)
+                self._astas[key] = asta
+                self.compilations += 1
+            else:
+                self.hits += 1
         return asta
 
 
@@ -105,6 +124,31 @@ class ExecutionResult:
         """Selected node ids as a list (document order)."""
         return list(self.ids)
 
+    @classmethod
+    def merge(cls, results: Iterable["ExecutionResult"]) -> "ExecutionResult":
+        """Aggregate per-shard results into one document-level result.
+
+        The parts must arrive in document order with pairwise-disjoint,
+        ascending id ranges (shards are preorder slices, so the parallel
+        service guarantees this); ``ids`` then concatenate into document
+        order with a linear sweep, no sort.  Every counter in ``stats``
+        is summed across the parts; ``accepted`` is true when any part
+        accepted.
+        """
+        stats = EvalStats()
+        accepted = False
+        ids: List[int] = []
+        for part in results:
+            accepted = accepted or part.accepted
+            if part.ids:
+                if ids and part.ids[0] <= ids[-1]:
+                    raise ValueError(
+                        "merge expects parts in disjoint ascending id ranges"
+                    )
+                ids.extend(part.ids)
+            stats.merge(part.stats)
+        return cls(accepted, tuple(ids), stats)
+
 
 class PreparedQuery:
     """A query plan bound to one engine: parsed, compiled, resolved.
@@ -125,7 +169,15 @@ class PreparedQuery:
         the deterministic strategy its minimal TDSTA).
     """
 
-    __slots__ = ("engine", "query", "path", "strategy", "artifacts", "_asta")
+    __slots__ = (
+        "engine",
+        "query",
+        "path",
+        "strategy",
+        "artifacts",
+        "_asta",
+        "_exec_lock",
+    )
 
     def __init__(
         self,
@@ -140,6 +192,7 @@ class PreparedQuery:
         self.strategy = strategy
         self.artifacts: Dict[str, object] = {}
         self._asta: Optional[ASTA] = None
+        self._exec_lock = threading.Lock()
         # Duck-typed plugins may omit the optional protocol members.
         if getattr(strategy, "needs_asta", False):
             self._asta = engine.compile(query, parsed=path)
@@ -157,9 +210,22 @@ class PreparedQuery:
         return self._asta
 
     def execute(self) -> ExecutionResult:
-        """Run the plan; zero parsing/compilation happens here."""
+        """Run the plan; zero parsing/compilation happens here.
+
+        Executions of *one* plan are serialized by a per-plan lock: the
+        warmed tables in :attr:`artifacts` (memo entries, interned state
+        sets) mutate during a run, so two pool threads landing on the
+        same plan -- e.g. two batch queries whose shard rewrites
+        coincide -- must not interleave.  Distinct plans (the parallel
+        service's normal case: one per shard) run fully concurrently;
+        the uncontended acquisition costs nanoseconds against
+        millisecond-scale runs.
+        """
         stats = EvalStats()
-        accepted, ids = self.strategy.execute(self, self.engine.index, stats)
+        with self._exec_lock:
+            accepted, ids = self.strategy.execute(
+                self, self.engine.index, stats
+            )
         return ExecutionResult(accepted, tuple(ids), stats)
 
     def select(self) -> List[int]:

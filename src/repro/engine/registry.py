@@ -60,11 +60,20 @@ class Strategy(Protocol):
         True when :meth:`execute` consumes the compiled ASTA of the plan;
         :meth:`repro.engine.api.Engine.prepare` then compiles it eagerly
         so later ``execute()`` calls do zero compilation work.
+    parallel_safe:
+        True when :meth:`execute` keeps all mutable run state on the plan
+        and its arguments (never on the strategy instance), so the
+        module-level singleton can be driven from several pool workers at
+        once.  :class:`~repro.engine.parallel.QueryService` runs queries
+        that resolve to a non-parallel-safe strategy serially in the
+        submitting thread instead of fanning them out.  All built-in
+        strategies are parallel-safe.
     """
 
     name: str
     fallback: Optional[str]
     needs_asta: bool
+    parallel_safe: bool
 
     def supports(self, path: "Path") -> bool:
         """Can this strategy evaluate ``path`` natively?"""
@@ -93,6 +102,7 @@ class StrategyBase:
     name: str = ""
     fallback: Optional[str] = None
     needs_asta: bool = False
+    parallel_safe: bool = True
 
     def supports(self, path: "Path") -> bool:
         return not path.has_backward_axes()

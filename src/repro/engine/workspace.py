@@ -18,7 +18,8 @@ case for element-only documents).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Union
+import threading
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.engine.api import Engine
 from repro.engine.plan import CompiledQueryCache, ExecutionResult, PreparedQuery
@@ -26,6 +27,9 @@ from repro.index.jumping import TreeIndex
 from repro.tree.binary import BinaryTree
 from repro.tree.document import XMLDocument
 from repro.xpath.ast import Path
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.parallel import QueryService
 
 Query = Union[str, Path]
 Document = Union[XMLDocument, BinaryTree, TreeIndex, str]
@@ -50,6 +54,8 @@ class Workspace:
         self.encode_text = encode_text
         self.cache = CompiledQueryCache()
         self._engines: Dict[str, Engine] = {}
+        self._services: Dict[Tuple[int, str, Optional[int]], "QueryService"] = {}
+        self._services_lock = threading.Lock()
 
     # -- document management ------------------------------------------------
 
@@ -65,11 +71,22 @@ class Workspace:
             cache=self.cache,
         )
         self._engines[name] = engine
+        self._invalidate_services(name)
         return engine
 
     def remove(self, name: str) -> None:
         """Drop a document (compiled queries stay cached for the rest)."""
         del self._engines[name]
+        self._invalidate_services(name)
+
+    def _invalidate_services(self, name: str) -> None:
+        """Drop any parallel-service state derived from document ``name``
+        (its shards, shard engines, and process-pool payloads) so a
+        removed or re-added document can never answer from stale data."""
+        with self._services_lock:
+            services = list(self._services.values())
+        for service in services:
+            service.invalidate(name)
 
     def engine(self, name: str) -> Engine:
         """The engine bound to document ``name``."""
@@ -105,7 +122,13 @@ class Workspace:
         return list(self.execute(query, document).ids)
 
     def select_many(
-        self, queries: Iterable[Query], document: Optional[str] = None
+        self,
+        queries: Iterable[Query],
+        document: Optional[str] = None,
+        *,
+        jobs: Optional[int] = None,
+        executor: str = "thread",
+        shards: Optional[int] = None,
     ) -> Dict[str, object]:
         """Run a batch of queries.
 
@@ -113,7 +136,15 @@ class Workspace:
         document; otherwise runs the batch on *every* document and
         returns ``{document: {query: [ids]}}``.  Either way each distinct
         query is compiled at most once per label inventory.
+
+        ``jobs`` > 1 routes the batch through the sharded
+        :class:`~repro.engine.parallel.QueryService` fast path (see its
+        docs for ``executor`` and ``shards``); results are identical to
+        the serial path.
         """
+        if jobs is not None and jobs > 1:
+            service = self.service(jobs=jobs, executor=executor, shards=shards)
+            return service.select_many(queries, document)
         queries = list(queries)
         if document is not None:
             engine = self.engine(document)
@@ -127,12 +158,58 @@ class Workspace:
             for name, engine in self._engines.items()
         }
 
-    def select_all(self, query: Query) -> Dict[str, List[int]]:
-        """Run one query across every document: ``{document: [ids]}``."""
+    def select_all(
+        self,
+        query: Query,
+        *,
+        jobs: Optional[int] = None,
+        executor: str = "thread",
+        shards: Optional[int] = None,
+    ) -> Dict[str, List[int]]:
+        """Run one query across every document: ``{document: [ids]}``.
+
+        ``jobs`` > 1 fans the broadcast out across document shards on a
+        worker pool (the :class:`~repro.engine.parallel.QueryService`
+        fast path).
+        """
+        if jobs is not None and jobs > 1:
+            service = self.service(jobs=jobs, executor=executor, shards=shards)
+            return service.select_all(query)
         return {
             name: list(engine.execute(query).ids)
             for name, engine in self._engines.items()
         }
+
+    def service(
+        self,
+        jobs: Optional[int] = None,
+        executor: str = "thread",
+        shards: Optional[int] = None,
+    ) -> "QueryService":
+        """A (memoized) parallel query service over this workspace.
+
+        One service -- and hence one worker pool and one set of document
+        shards -- is kept per ``(jobs, executor, shards)`` configuration;
+        call :meth:`close` to shut the pools down.
+        """
+        from repro.engine.parallel import QueryService
+
+        key = (jobs if jobs is not None else 0, executor, shards)
+        with self._services_lock:
+            service = self._services.get(key)
+            if service is None:
+                service = QueryService(
+                    self, jobs=jobs, executor=executor, shards=shards
+                )
+                self._services[key] = service
+        return service
+
+    def close(self) -> None:
+        """Shut down any worker pools created through :meth:`service`."""
+        with self._services_lock:
+            services, self._services = list(self._services.values()), {}
+        for service in services:
+            service.close()
 
     def count_all(self, query: Query) -> Dict[str, int]:
         """Result cardinality per document (cheap fan-out analytics)."""

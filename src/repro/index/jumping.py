@@ -40,6 +40,57 @@ class TreeIndex:
         :meth:`repro.index.labels.LabelIndex.fused`)."""
         return self.labels.fused(label_ids)
 
+    def shard_slice(self, lo: int, hi: int) -> "TreeIndex":
+        """A self-contained index for the re-rooted slice ``[lo, hi)``.
+
+        The slice must cover whole top-level subtrees: ``lo`` is a child
+        of the root and ``hi`` is either ``n`` or the next top-level
+        sibling boundary.  The result is a :class:`TreeIndex` over a
+        fresh :class:`BinaryTree` whose node 0 is (a copy of) the
+        document root and whose node ``l >= 1`` is global node
+        ``l + (lo - 1)`` -- the shard's global preorder offset.  The
+        element-name table is shared with the parent tree, so compiled
+        wildcard automata keyed by label inventory stay reusable across
+        shards, and the label index is carved from the parent's sorted
+        arrays (:meth:`LabelIndex.sliced`) instead of being re-sorted.
+        """
+        import numpy as np
+
+        tree = self.tree
+        if not isinstance(tree, BinaryTree):
+            tree = tree.to_binary()
+        root = 0
+        if not 0 < lo < hi <= tree.n:
+            raise ValueError(f"invalid shard range [{lo}, {hi}) for n={tree.n}")
+        if tree.parent[lo] != root or (hi < tree.n and tree.parent[hi] != root):
+            raise ValueError(
+                f"shard range [{lo}, {hi}) is not a union of whole "
+                "top-level subtrees"
+            )
+        off = lo - 1
+        m = hi - lo + 1
+        label_of = [tree.label_of[0]] + tree.label_of[lo:hi]
+        par = np.asarray(tree.parent[lo:hi], dtype=np.int64)
+        par = np.where(par == root, 0, par - off)
+        xml_end = np.asarray(tree.xml_end[lo:hi], dtype=np.int64) - off
+        left = np.asarray(tree.left[lo:hi], dtype=np.int64)
+        left = np.where(left == NIL, NIL, left - off)
+        right = np.asarray(tree.right[lo:hi], dtype=np.int64)
+        # The last top-level child's next sibling lies outside the slice.
+        right = np.where((right == NIL) | (right >= hi), NIL, right - off)
+        shard_tree = BinaryTree(
+            tree.labels,
+            label_of,
+            [1] + left.tolist(),
+            [NIL] + right.tolist(),
+            [NIL] + par.tolist(),
+            [m] + xml_end.tolist(),
+        )
+        labels = LabelIndex.sliced(
+            self.labels, shard_tree, lo, hi, off, tree.label_of[0]
+        )
+        return TreeIndex(shard_tree, labels)
+
     def xml_end_array(self):
         """``tree.xml_end`` as a cached ``np.int64`` array (for
         vectorized subtree-range slicing)."""

@@ -1,6 +1,12 @@
-"""Hypothesis strategies shared across the property-based tests."""
+"""Hypothesis strategies shared across the property-based tests, plus a
+seeded grammar-driven Core-XPath fuzzer (:func:`random_core_query` /
+:func:`random_document`) used by the differential and parallel-determinism
+suites -- those want a reproducible fixed-seed corpus of a few hundred
+cases rather than hypothesis' adaptive search."""
 
 from __future__ import annotations
+
+import random
 
 from hypothesis import strategies as st
 
@@ -8,6 +14,9 @@ from repro.automata.labelset import LabelSet
 from repro.tree.binary import BinaryTree
 
 LABELS = ("a", "b", "c", "d")
+
+ATTR_NAMES = ("id", "x", "y")
+"""Attribute-name pool shared by the fuzzer's documents and queries."""
 
 
 @st.composite
@@ -89,3 +98,135 @@ def xpath_queries(
 
     n_steps = draw(st.integers(1, max_steps))
     return "".join(step(0, first=(i == 0)) for i in range(n_steps))
+
+
+# -- seeded grammar fuzzer ---------------------------------------------------
+#
+# Plain random.Random generators for the differential-fuzz and parallel
+# suites: the whole corpus is a pure function of the seed, so CI replays
+# byte-identical cases.  The grammar covers every supported axis (child,
+# descendant, following-sibling, attribute, parent, ancestor, '..'),
+# wildcard and node()/text() tests, and and/or/not predicate nesting.
+
+
+def random_document(
+    rng: random.Random,
+    *,
+    labels=LABELS,
+    max_depth: int = 4,
+    max_children: int = 3,
+    attributes: bool = False,
+    text: bool = False,
+) -> str:
+    """A random XML document string (optionally with attributes/text)."""
+
+    def element(depth: int) -> str:
+        label = rng.choice(labels)
+        attrs = ""
+        if attributes and rng.random() < 0.3:
+            names = rng.sample(ATTR_NAMES, rng.randint(1, 2))
+            attrs = "".join(f' {a}="v"' for a in sorted(names))
+        n_children = 0 if depth >= max_depth else rng.randint(0, max_children)
+        body = "".join(element(depth + 1) for _ in range(n_children))
+        if text and rng.random() < 0.25:
+            body = "some text" + body
+        if not body:
+            return f"<{label}{attrs}/>"
+        return f"<{label}{attrs}>{body}</{label}>"
+
+    return element(0)
+
+
+def random_core_query(
+    rng: random.Random,
+    *,
+    labels=LABELS,
+    max_steps: int = 4,
+    pred_depth: int = 2,
+    backward: bool = False,
+    following: bool = False,
+    attributes: bool = False,
+    text: bool = False,
+) -> str:
+    """A random absolute query over the full supported Core fragment.
+
+    Explicit axes are only ever emitted after ``/`` (the parser forbids
+    ``//axis::test``), and the first step is always a forward child or
+    descendant step so the query stays absolute-forward-rooted.
+    """
+
+    def node_test() -> str:
+        r = rng.random()
+        if r < 0.55:
+            return rng.choice(labels)
+        if r < 0.7:
+            return "*"
+        if r < 0.8:
+            return "node()"
+        if text and r < 0.88:
+            return "text()"
+        return rng.choice(labels)
+
+    def predicate(depth: int) -> str:
+        kind = rng.randint(0, 4)
+        if kind == 0:
+            return f"not({predicate(depth + 1) if depth < pred_depth else rel_path(depth)})"
+        if kind == 1 and depth < pred_depth:
+            op = rng.choice(("and", "or"))
+            return f"{predicate(depth + 1)} {op} {predicate(depth + 1)}"
+        if kind == 2 and attributes:
+            return f"@{rng.choice(ATTR_NAMES)}"
+        return rel_path(depth)
+
+    def rel_path(depth: int) -> str:
+        n = rng.randint(1, 2)
+        parts = []
+        for i in range(n):
+            test = rng.choice(labels)
+            if i == 0:
+                parts.append(rng.choice(("", ".//")) + test)
+            else:
+                parts.append(rng.choice(("/", "//")) + test)
+        return "".join(parts)
+
+    def step(first: bool) -> str:
+        if not first:
+            r = rng.random()
+            if backward and r < 0.15:
+                kind = rng.choice(("..", "parent", "ancestor"))
+                if kind == "..":
+                    return "/.."
+                return f"/{kind}::{node_test()}"
+            if following and r < 0.3:
+                return f"/following-sibling::{node_test()}"
+            if attributes and r < 0.4:
+                return f"/@{rng.choice(ATTR_NAMES)}"
+        sep = rng.choice(("/", "//"))
+        pred = ""
+        if rng.random() < 0.4:
+            pred = f"[{predicate(0)}]"
+        return f"{sep}{node_test()}{pred}"
+
+    n_steps = rng.randint(1, max_steps)
+    return "".join(step(first=(i == 0)) for i in range(n_steps))
+
+
+def fuzz_corpus(
+    seed: int,
+    n_documents: int,
+    queries_per_document: int,
+    **query_kwargs,
+) -> list:
+    """A reproducible corpus of ``(xml, [query, ...])`` pairs."""
+    rng = random.Random(seed)
+    attributes = bool(query_kwargs.get("attributes"))
+    text = bool(query_kwargs.get("text"))
+    corpus = []
+    for _ in range(n_documents):
+        xml = random_document(rng, attributes=attributes, text=text)
+        queries = [
+            random_core_query(rng, **query_kwargs)
+            for _ in range(queries_per_document)
+        ]
+        corpus.append((xml, queries))
+    return corpus

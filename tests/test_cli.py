@@ -99,3 +99,60 @@ class TestCLI:
         path.write_text("<a><b></a>")
         code, _ = run(["//a", str(path)])
         assert code == 1
+
+
+class TestBatchCLI:
+    @pytest.fixture()
+    def query_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("K\t//a/b\n# a comment\n\n//b\n")
+        return str(path)
+
+    def test_batch_over_file(self, xml_file, query_file):
+        import json
+
+        code, out = run(
+            ["batch", "--queries", query_file, xml_file, "--jobs", "2"]
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["results"] == {"K": [2], "q4": [2, 3]}
+        assert payload["jobs"] == 2
+
+    def test_batch_counts_on_xmark(self, query_file, tmp_path):
+        import json
+
+        path = tmp_path / "q.txt"
+        path.write_text("//keyword\n")
+        code, out = run(
+            ["batch", "--queries", str(path), "--xmark", "0.05", "--count"]
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["results"]["q1"] > 0
+        assert payload["document"] == "xmark"
+
+    def test_batch_duplicate_names_rejected(self, xml_file, tmp_path):
+        path = tmp_path / "q.txt"
+        path.write_text("x\t//a\nx\t//b\n")
+        code, _ = run(["batch", "--queries", str(path), xml_file])
+        assert code == 1
+
+    def test_batch_file_and_xmark_conflict(self, xml_file, query_file):
+        with pytest.raises(SystemExit) as exc:
+            run(
+                ["batch", "--queries", query_file, xml_file, "--xmark", "0.1"]
+            )
+        assert exc.value.code == 2
+
+    def test_batch_empty_query_file(self, xml_file, tmp_path):
+        path = tmp_path / "q.txt"
+        path.write_text("# nothing\n")
+        code, _ = run(["batch", "--queries", str(path), xml_file])
+        assert code == 1
+
+    def test_batch_bad_query_is_an_error(self, xml_file, tmp_path):
+        path = tmp_path / "q.txt"
+        path.write_text("//a[\n")
+        code, _ = run(["batch", "--queries", str(path), xml_file])
+        assert code == 1

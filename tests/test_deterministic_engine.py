@@ -156,3 +156,43 @@ class TestBottomUpFilter:
         stats = EvalStats()
         evaluate_bottomup_filter("//listitem[.//keyword]", xmark_index, stats)
         assert stats.visited < xmark_index.tree.n
+
+
+class TestWildcardInventory:
+    """Regression: '*' on encoded documents must compile against the
+    element-label inventory, both through the strategy and through the
+    module-level evaluate() (the TDSTA cache is keyed by inventory)."""
+
+    XML = '<r><a id="v">text here</a><b/></r>'
+
+    @pytest.fixture()
+    def encoded_index(self):
+        from repro.tree.parser import parse_xml
+
+        tree = BinaryTree.from_document(
+            parse_xml(self.XML), encode_attributes=True, encode_text=True
+        )
+        return TreeIndex(tree)
+
+    def test_strategy_excludes_encoded_labels(self, encoded_index):
+        engine = Engine(encoded_index, strategy="deterministic")
+        expected = evaluate_reference(encoded_index.tree, parse_xpath("//*"))
+        assert engine.select("//*") == expected
+        labels = engine.labels_of(engine.select("//*"))
+        assert all(not l.startswith(("@", "#")) for l in labels)
+
+    def test_module_level_evaluate_takes_inventory(self, encoded_index):
+        inventory = [
+            l
+            for l in encoded_index.tree.labels
+            if not l.startswith(("@", "#"))
+        ]
+        _, with_inventory = evaluate(
+            "//*", encoded_index, wildcard_labels=inventory
+        )
+        expected = evaluate_reference(encoded_index.tree, parse_xpath("//*"))
+        assert with_inventory == expected
+        # Without the inventory the wildcard matches every label: the
+        # two cache entries must not alias.
+        _, without = evaluate("//*", encoded_index)
+        assert without == list(range(encoded_index.tree.n))

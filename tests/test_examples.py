@@ -71,3 +71,12 @@ def test_access_control_runs():
     )
     assert "may access" in out
     assert "auditor" in out
+
+
+def test_parallel_batch_runs():
+    out = run_example(
+        next(p for p in EXAMPLES if p.name == "parallel_batch.py"), ["0.05"]
+    )
+    assert "identical to serial: True" in out
+    assert "shard 0" in out
+    assert "aggregated shard counters" in out
