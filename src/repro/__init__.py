@@ -40,6 +40,7 @@ from repro.engine.plan import ExecutionResult, PreparedQuery
 from repro.engine.registry import Strategy, register_strategy, strategy_names
 from repro.engine.workspace import Workspace
 from repro.index.jumping import TreeIndex
+from repro.store import DocumentStore, StoredDocument, open_document, save_document
 from repro.tree.binary import BinaryTree
 from repro.tree.document import XMLDocument, XMLNode
 from repro.tree.parser import parse_xml
@@ -66,5 +67,9 @@ __all__ = [
     "strategy_names",
     "Workspace",
     "QueryService",
+    "DocumentStore",
+    "StoredDocument",
+    "open_document",
+    "save_document",
     "__version__",
 ]

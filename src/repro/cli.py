@@ -8,6 +8,9 @@ Examples::
     python -m repro.cli '//a[b]' doc.xml --explain
     python -m repro.cli --list-strategies
     python -m repro.cli batch --queries queries.txt --jobs 4 --xmark 0.5
+    python -m repro.cli store build /var/xml/auctions --xmark 1.0
+    python -m repro.cli store ls /var/xml/auctions
+    python -m repro.cli store query '//keyword' /var/xml/auctions --count
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from typing import List, Optional
 
 from repro.engine import registry
 from repro.engine.api import Engine
+from repro.tree.binary import BinaryTree
 from repro.tree.parser import parse_xml
 from repro.xmark.generator import XMarkGenerator
 
@@ -151,6 +155,231 @@ def build_batch_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro store",
+        description=(
+            "build, inspect and query persistent compiled-document "
+            "bundles (repro.store); a built bundle reopens zero-copy "
+            "via mmap -- no XML re-parsing on any later open"
+        ),
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    build = sub.add_parser(
+        "build", help="compile a document into a bundle directory"
+    )
+    build.add_argument("out", help="bundle directory to create/overwrite")
+    build.add_argument(
+        "file",
+        nargs="?",
+        help="XML document (default: stdin, unless --xmark is given)",
+    )
+    build.add_argument(
+        "--xmark",
+        type=float,
+        metavar="SCALE",
+        help="compile a generated XMark document of the given scale",
+    )
+    build.add_argument(
+        "--seed", type=int, default=42, help="seed for --xmark (default 42)"
+    )
+    build.add_argument(
+        "--text-content",
+        action="store_true",
+        help="fill --xmark text elements with character data",
+    )
+    build.add_argument(
+        "--attributes",
+        action="store_true",
+        help="encode attributes as @name children",
+    )
+    build.add_argument(
+        "--text",
+        action="store_true",
+        help="encode character data as #text children",
+    )
+    build.add_argument(
+        "--legacy-tree",
+        action="store_true",
+        help=(
+            "materialize the XMLNode tree before encoding instead of "
+            "streaming events into the arrays (memory/time baseline)"
+        ),
+    )
+
+    ls = sub.add_parser(
+        "ls", help="show the header(s) of a bundle or corpus directory"
+    )
+    ls.add_argument("path", help="a bundle, or a directory of bundles")
+
+    query = sub.add_parser("query", help="run a query on a reopened bundle")
+    query.add_argument("query", help="an XPath query")
+    query.add_argument("path", help="the bundle directory")
+    query.add_argument(
+        "--strategy",
+        choices=registry.strategy_names(),
+        default="optimized",
+        help="evaluation strategy (default: optimized)",
+    )
+    query.add_argument(
+        "--count", action="store_true", help="print only the number of results"
+    )
+    query.add_argument(
+        "--labels",
+        action="store_true",
+        help="print element names next to node ids",
+    )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="emit per-query evaluation statistics as JSON on stderr",
+    )
+    query.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="read the arrays into memory instead of mapping them",
+    )
+    return parser
+
+
+def _bundle_summary(path: str, header: dict) -> dict:
+    import os
+
+    size = 0
+    for entry in os.listdir(path):
+        full = os.path.join(path, entry)
+        if os.path.isfile(full):
+            size += os.path.getsize(full)
+    return {
+        "path": path,
+        "version": header["version"],
+        "nodes": header["n"],
+        "labels": len(header["labels"]),
+        "encoded_attributes": header["encoded_attributes"],
+        "encoded_text": header["encoded_text"],
+        "created": header["created"],
+        "bytes": size,
+    }
+
+
+def store_main(argv: List[str], out) -> int:
+    import os
+
+    from repro.store import (
+        StoreError,
+        open_document,
+        read_header,
+        bundle_names,
+        is_bundle,
+        save_document,
+    )
+
+    parser = build_store_parser()
+    args = parser.parse_args(argv)
+
+    if args.cmd == "build":
+        if args.file and args.xmark is not None:
+            parser.error("give either a document file or --xmark, not both")
+        try:
+            if args.xmark is not None:
+                generator = XMarkGenerator(
+                    scale=args.xmark,
+                    seed=args.seed,
+                    text_content=args.text_content,
+                )
+                source = {"kind": "xmark", "scale": args.xmark, "seed": args.seed}
+                # The generator is an event source: save_document streams
+                # it straight into the arrays (and reuses the BP bits).
+                document = (
+                    generator.document() if args.legacy_tree else generator
+                )
+                path = save_document(
+                    document,
+                    args.out,
+                    encode_attributes=args.attributes,
+                    encode_text=args.text,
+                    source=source,
+                )
+            else:
+                text = (
+                    open(args.file, "r", encoding="utf-8").read()
+                    if args.file
+                    else sys.stdin.read()
+                )
+                source = {"kind": "xml", "file": args.file or "stdin"}
+                document = parse_xml(text) if args.legacy_tree else text
+                path = save_document(
+                    document,
+                    args.out,
+                    encode_attributes=args.attributes,
+                    encode_text=args.text,
+                    source=source,
+                )
+        except (ValueError, StoreError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(
+            json.dumps(
+                _bundle_summary(path, read_header(path)), sort_keys=True
+            ),
+            file=out,
+        )
+        return 0
+
+    if args.cmd == "ls":
+        try:
+            if is_bundle(args.path):
+                bundles = [("", args.path)]
+            else:
+                bundles = [
+                    (name, os.path.join(args.path, name))
+                    for name in bundle_names(args.path)
+                ]
+            if not bundles:
+                print(f"error: no bundles in {args.path!r}", file=sys.stderr)
+                return 1
+            listing = []
+            for name, path in bundles:
+                summary = _bundle_summary(path, read_header(path))
+                if name:
+                    summary["name"] = name
+                listing.append(summary)
+        except (StoreError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(listing, sort_keys=True), file=out)
+        return 0
+
+    # query
+    try:
+        stored = open_document(args.path, mmap=not args.no_mmap)
+        engine = Engine(stored, strategy=args.strategy)
+        plan = engine.prepare(args.query)
+        result = plan.execute()
+    except (ValueError, StoreError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    ids = list(result.ids)
+    if args.count:
+        print(len(ids), file=out)
+    elif args.labels:
+        for v, label in zip(ids, engine.labels_of(ids)):
+            print(f"{v}\t{label}", file=out)
+    else:
+        print(" ".join(map(str, ids)), file=out)
+    if args.stats:
+        snapshot = dict(
+            result.stats.snapshot(),
+            query=args.query,
+            strategy=plan.strategy.name,
+            nodes=len(engine.tree),
+            store=stored.path,
+        )
+        print(json.dumps(snapshot, sort_keys=True), file=sys.stderr)
+    return 0
+
+
 def _read_queries(path: str) -> List[tuple]:
     """Parse a batch query file into (name, query) pairs.
 
@@ -196,7 +425,7 @@ def batch_main(argv: List[str], out) -> int:
         return 1
 
     if args.xmark is not None:
-        doc = XMarkGenerator(scale=args.xmark, seed=args.seed).document()
+        doc = XMarkGenerator(scale=args.xmark, seed=args.seed).tree()
     else:
         text = (
             open(args.file, "r", encoding="utf-8").read()
@@ -204,7 +433,8 @@ def batch_main(argv: List[str], out) -> int:
             else sys.stdin.read()
         )
         try:
-            doc = parse_xml(text)
+            # Streaming build: events append straight into the arrays.
+            doc = BinaryTree.from_xml(text)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1
@@ -247,6 +477,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "batch":
         return batch_main(argv[1:], out)
+    if argv and argv[0] == "store":
+        return store_main(argv[1:], out)
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -259,18 +491,17 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         parser.error("query is required unless --list-strategies is given")
 
     if args.xmark is not None:
-        doc = XMarkGenerator(scale=args.xmark, seed=args.seed).document()
+        generator = XMarkGenerator(scale=args.xmark, seed=args.seed)
+        # Streaming array build unless the encoding needs a document view.
+        doc = generator.document() if args.attributes else generator.tree()
     else:
+        # The raw text goes straight to the engine: scanner events feed
+        # the array builder, with no intermediate XMLNode tree.
         if args.file:
             with open(args.file, "r", encoding="utf-8") as f:
-                text = f.read()
+                doc = f.read()
         else:
-            text = sys.stdin.read()
-        try:
-            doc = parse_xml(text)
-        except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
+            doc = sys.stdin.read()
 
     try:
         engine = Engine(

@@ -41,7 +41,13 @@ class Engine:
     ----------
     document:
         An :class:`XMLDocument`, a :class:`BinaryTree`, a prebuilt
-        :class:`TreeIndex`, or an XML string.
+        :class:`TreeIndex`, a reopened
+        :class:`~repro.store.StoredDocument`, or an XML string.  A
+        string is parsed *streaming* -- scanner events append directly
+        into the binary tree's arrays
+        (:mod:`repro.tree.builder`); no per-element ``XMLNode`` is
+        allocated.  A stored document arrives with its index already
+        compiled, so construction does no parsing at all.
     strategy:
         Any name registered in :mod:`repro.engine.registry` (built-ins:
         ``naive | jumping | memo | optimized | hybrid | deterministic |
@@ -66,32 +72,16 @@ class Engine:
         encode_text: bool = False,
         cache: Optional[CompiledQueryCache] = None,
     ) -> None:
-        if isinstance(document, str):
-            from repro.tree.parser import parse_xml
+        # One shared dispatch with repro.store.save_document: XML text
+        # and event sources stream through the array builder, stored
+        # documents arrive with their compiled index, and encode flags
+        # are rejected on already-encoded inputs.
+        from repro.store.store import resolve_document
 
-            document = parse_xml(document)
-        index: Optional[TreeIndex] = None
-        if not isinstance(document, XMLDocument) and (
-            encode_attributes or encode_text
-        ):
-            raise ValueError(
-                "encode_attributes/encode_text apply while building the "
-                "binary tree from an XMLDocument or XML string; the given "
-                f"{type(document).__name__} is already encoded"
-            )
-        if isinstance(document, TreeIndex):
-            index = document
-            tree = document.tree
-        elif isinstance(document, XMLDocument):
-            tree = BinaryTree.from_document(
-                document,
-                encode_attributes=encode_attributes,
-                encode_text=encode_text,
-            )
-        else:
-            tree = document
-        self.tree = tree
-        self.index = index if index is not None else TreeIndex(tree)
+        self.index, _ = resolve_document(
+            document, encode_attributes, encode_text
+        )
+        self.tree = self.index.tree
         self.cache = cache if cache is not None else CompiledQueryCache()
         self._plans: Dict[Tuple[str, str], PreparedQuery] = {}
         self._plans_lock = threading.Lock()

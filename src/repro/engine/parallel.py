@@ -296,16 +296,48 @@ def _run_paths(
 _WORKER: dict = {}
 
 
-def _worker_init(docs: Dict[str, Tuple[TreeIndex, List[Shard]]], strategy: str) -> None:
-    """Process-pool initializer: receive the (picklable) shard indexes.
+def _worker_init(docs: Dict[str, tuple], strategy: str) -> None:
+    """Process-pool initializer: receive the per-document payloads.
 
-    Under the ``fork`` start method the payload is inherited copy-on-
-    write; under ``spawn`` it travels by pickle -- shard trees, label
-    arrays, and fused caches are all plain containers of ints/ndarrays.
+    A payload entry is either ``("index", TreeIndex, [Shard, ...])`` --
+    the in-memory case, where under the ``fork`` start method the arrays
+    are inherited copy-on-write and under ``spawn`` they travel by
+    pickle (shard trees, label arrays, and fused caches are all plain
+    containers of ints/ndarrays) -- or ``("store", path, [(lo, hi),
+    ...])`` for store-backed documents, where only the bundle path and
+    the shard boundaries are pickled and each worker reopens the
+    memory-mapped arrays itself (the OS page cache shares the physical
+    pages across the whole pool).
     """
     _WORKER["docs"] = docs
     _WORKER["strategy"] = strategy
     _WORKER["engines"] = {}
+    _WORKER["indexes"] = {}
+
+
+def _worker_index(doc: str, ordinal: Optional[int]) -> TreeIndex:
+    """Resolve one payload entry to a (cached) full or shard index."""
+    indexes: dict = _WORKER["indexes"]
+    key = (doc, ordinal)
+    index = indexes.get(key)
+    if index is not None:
+        return index
+    entry = _WORKER["docs"][doc]
+    if entry[0] == "store":
+        _, path, ranges = entry
+        full = indexes.get((doc, None))
+        if full is None:
+            from repro.store import open_document
+
+            full = indexes[(doc, None)] = open_document(path).index
+        index = (
+            full if ordinal is None else full.shard_slice(*ranges[ordinal])
+        )
+    else:
+        _, full_index, shards = entry
+        index = full_index if ordinal is None else shards[ordinal].index
+    indexes[key] = index
+    return index
 
 
 def _worker_engine(doc: str, ordinal: Optional[int]) -> Engine:
@@ -313,9 +345,9 @@ def _worker_engine(doc: str, ordinal: Optional[int]) -> Engine:
     key = (doc, ordinal)
     engine = engines.get(key)
     if engine is None:
-        full_index, shards = _WORKER["docs"][doc]
-        index = full_index if ordinal is None else shards[ordinal].index
-        engine = Engine(index, strategy=_WORKER["strategy"])
+        engine = Engine(
+            _worker_index(doc, ordinal), strategy=_WORKER["strategy"]
+        )
         engines[key] = engine
     return engine
 
@@ -487,15 +519,28 @@ class QueryService:
                 self._pool_docs = docs
             return self._pool
 
+    def _payload_entry(self, name: str) -> tuple:
+        """The picklable worker payload for one document.
+
+        Store-backed documents (opened via
+        :meth:`Workspace.open_store` / :func:`repro.store.open_document`)
+        ship only their bundle path plus the shard boundaries -- workers
+        reopen the memory-mapped arrays themselves, so the pickle is a
+        few bytes however large the document is.
+        """
+        index = self.workspace.engine(name).index
+        shards = self._shards_locked(name)
+        store_path = getattr(index, "store_path", None)
+        if store_path is not None:
+            return ("store", store_path, [(s.lo, s.hi) for s in shards])
+        return ("index", index, shards)
+
     def _make_process_pool(self, docs: Tuple[str, ...]):
         import multiprocessing
 
         from concurrent.futures import ProcessPoolExecutor
 
-        payload = {
-            name: (self.workspace.engine(name).index, self._shards_locked(name))
-            for name in docs
-        }
+        payload = {name: self._payload_entry(name) for name in docs}
         return ProcessPoolExecutor(
             max_workers=self.jobs,
             # None = the platform default start method; see __init__.

@@ -30,9 +30,10 @@ from repro.xpath.ast import Path
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.parallel import QueryService
+    from repro.store import StoredDocument
 
 Query = Union[str, Path]
-Document = Union[XMLDocument, BinaryTree, TreeIndex, str]
+Document = Union[XMLDocument, BinaryTree, TreeIndex, "StoredDocument", str]
 
 
 class Workspace:
@@ -87,6 +88,53 @@ class Workspace:
             services = list(self._services.values())
         for service in services:
             service.invalidate(name)
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: str) -> Dict[str, str]:
+        """Persist every registered document as a compiled bundle.
+
+        Writes one :mod:`repro.store` bundle per document under
+        ``path/<name>`` and returns ``{name: bundle_path}``.  A later
+        :meth:`open_store` (in any process) serves the same corpus with
+        zero re-parsing.  Document names that cannot be bundle names
+        (path separators, ``..``) are rejected up front, before
+        anything is written.
+        """
+        from repro.store import DocumentStore
+
+        store = DocumentStore(path)
+        for name in self._engines:
+            store.path_for(name)  # validate every name before writing any
+        return {
+            name: store.save(name, engine.index)
+            for name, engine in self._engines.items()
+        }
+
+    def open_store(
+        self,
+        path: str,
+        names: Optional[Iterable[str]] = None,
+        *,
+        mmap: bool = True,
+    ) -> List[str]:
+        """Register every bundle of a store directory (or a chosen subset).
+
+        Each document reopens via ``np.load(mmap_mode="r")`` -- no XML
+        parsing, no index rebuild -- and is registered under its bundle
+        name.  Returns the registered names in order.
+        """
+        from repro.store import DocumentStore
+
+        store = DocumentStore(path)
+        wanted = list(names) if names is not None else store.names()
+        if not wanted:
+            raise ValueError(f"no document bundles in {path!r}")
+        registered: List[str] = []
+        for name in wanted:
+            self.add(name, store.open(name, mmap=mmap))
+            registered.append(name)
+        return registered
 
     def engine(self, name: str) -> Engine:
         """The engine bound to document ``name``."""

@@ -115,6 +115,48 @@ class LabelIndex:
         self._fused = {}
         return self
 
+    @classmethod
+    def from_state(
+        cls,
+        tree: _LabelledTree,
+        ids: np.ndarray,
+        boundaries: np.ndarray,
+    ) -> "LabelIndex":
+        """Rehydrate from persisted state (see :meth:`state`).
+
+        ``ids`` is the concatenation of every label's sorted node-id
+        array; ``boundaries[lab] : boundaries[lab + 1]`` delimits label
+        ``lab``.  Per-label arrays become zero-copy views of ``ids`` (a
+        memory-mapped store array stays mapped); only the plain-list
+        mirrors used by the evaluator's scalar bisects are materialized.
+        No argsort runs -- the sort was paid once at store-build time.
+        """
+        self = cls.__new__(cls)
+        self.tree = tree
+        if len(boundaries) != len(tree.labels) + 1:
+            raise ValueError(
+                f"label index has {len(boundaries) - 1} labels, "
+                f"tree has {len(tree.labels)}"
+            )
+        self._arrays = [
+            ids[int(boundaries[lab]) : int(boundaries[lab + 1])]
+            for lab in range(len(tree.labels))
+        ]
+        self._lists = [a.tolist() for a in self._arrays]
+        self._fused = {}
+        return self
+
+    def state(self) -> tuple[np.ndarray, np.ndarray]:
+        """The persistable ``(ids, boundaries)`` pair for :meth:`from_state`."""
+        boundaries = np.zeros(len(self._arrays) + 1, dtype=np.int64)
+        np.cumsum([len(a) for a in self._arrays], out=boundaries[1:])
+        ids = (
+            np.concatenate(self._arrays)
+            if self._arrays
+            else np.empty(0, dtype=np.int64)
+        )
+        return ids, boundaries
+
     def count(self, label: str) -> int:
         """Global number of nodes with this element name (O(1))."""
         lab = _label_id(self.tree, label)

@@ -121,6 +121,44 @@ class SuccinctTree:
                 stack.append((c, 0))
         return cls(parens, list(tree.label_of), list(tree.labels))
 
+    @classmethod
+    def from_state(
+        cls,
+        bv: BitVector,
+        label_of: list[int],
+        labels: list[str],
+        block_total: np.ndarray,
+        block_min: np.ndarray,
+        block_max: np.ndarray,
+        block_start_excess: np.ndarray,
+    ) -> "SuccinctTree":
+        """Rehydrate from persisted state (see :meth:`state`).
+
+        The excess-summary tables are taken as-is (read-only views are
+        fine); nothing is re-derived from the parenthesis sequence.
+        """
+        self = cls.__new__(cls)
+        self.bv = bv
+        self.n = len(label_of)
+        self.labels = labels
+        self.label_ids = {name: i for i, name in enumerate(labels)}
+        self.label_of = label_of
+        self._block_total = block_total
+        self._block_min = block_min
+        self._block_max = block_max
+        self._block_start_excess = block_start_excess
+        self._m = bv.n
+        return self
+
+    def state(self) -> dict:
+        """The persistable excess-summary arrays (BP bits live in ``bv``)."""
+        return {
+            "block_total": self._block_total,
+            "block_min": self._block_min,
+            "block_max": self._block_max,
+            "block_start_excess": self._block_start_excess,
+        }
+
     def _build_excess_blocks(self, bits: np.ndarray) -> None:
         m = int(bits.size)
         nblocks = (m + _BLOCK - 1) // _BLOCK or 1

@@ -1,0 +1,40 @@
+"""Persistent document store: compiled-array bundles, reopened zero-copy.
+
+The SXSI-style evaluation model assumes documents *are* index
+structures.  This package makes that lifetime explicit: parse once
+(:func:`save_document`), then every subsequent open
+(:func:`open_document`) memory-maps the compiled arrays instead of
+re-parsing XML.  See :mod:`repro.store.format` for the on-disk layout
+and versioning/invalidation rules, and DESIGN.md ("Ingestion and the
+document store") for how the pieces compose.
+"""
+
+from repro.store.format import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    StoreError,
+    StoreFormatError,
+    bundle_names,
+    is_bundle,
+    read_header,
+)
+from repro.store.store import (
+    DocumentStore,
+    StoredDocument,
+    open_document,
+    save_document,
+)
+
+__all__ = [
+    "DocumentStore",
+    "StoredDocument",
+    "open_document",
+    "save_document",
+    "read_header",
+    "bundle_names",
+    "is_bundle",
+    "StoreError",
+    "StoreFormatError",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+]

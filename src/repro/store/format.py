@@ -1,0 +1,175 @@
+"""On-disk layout of a compiled document bundle.
+
+A *bundle* is a directory holding one versioned JSON header plus one
+flat ``.npy`` file per compiled array::
+
+    <bundle>/
+      header.json            format, version, label table, manifest
+      label_of.npy           int64[n]   interned label per node
+      left.npy               int64[n]   first child  (fcns left)
+      right.npy              int64[n]   next sibling (fcns right)
+      parent.npy             int64[n]   XML parent
+      bparent.npy            int64[n]   binary parent
+      xml_end.npy            int64[n]   exclusive subtree end
+      label_ids.npy          int64[n]   per-label sorted node ids, concatenated
+      label_bounds.npy       int64[L+1] label_ids slice boundaries per label
+      bp_packed.npy          uint8      BP bits, LSB-first, word-padded
+      bp_word_prefix.npy     int64      cumulative popcount per 64-bit word
+      bp_zero_word_prefix.npy int64     cumulative zero count per word
+      bp_block_total.npy     int64      per-block excess delta
+      bp_block_min.npy       int64      per-block min excess
+      bp_block_max.npy       int64      per-block max excess
+      bp_block_start_excess.npy int64   excess at each block start
+
+Flat ``.npy`` files (rather than one ``.npz``) are deliberate:
+``np.load(..., mmap_mode="r")`` only memory-maps plain files, and
+zero-copy reopening is the whole point of the store.
+
+Invalidation rules
+------------------
+``version`` is bumped on **any** change to the array set, an array's
+dtype/meaning, or the id scheme; readers hard-fail on a mismatch (no
+silent migration -- rebuilding from source XML is always safe and
+cheap relative to serving).  The header additionally records each
+array's dtype and shape; a manifest/file mismatch raises
+:class:`StoreFormatError` before any array is interpreted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+import numpy as np
+
+FORMAT_NAME = "repro-document-store"
+FORMAT_VERSION = 1
+HEADER_FILE = "header.json"
+
+#: Every array a v1 bundle must contain, with its expected dtype.
+ARRAY_DTYPES: Dict[str, str] = {
+    "label_of": "int64",
+    "left": "int64",
+    "right": "int64",
+    "parent": "int64",
+    "bparent": "int64",
+    "xml_end": "int64",
+    "label_ids": "int64",
+    "label_bounds": "int64",
+    "bp_packed": "uint8",
+    "bp_word_prefix": "int64",
+    "bp_zero_word_prefix": "int64",
+    "bp_block_total": "int64",
+    "bp_block_min": "int64",
+    "bp_block_max": "int64",
+    "bp_block_start_excess": "int64",
+}
+
+
+class StoreError(Exception):
+    """Base class for document-store failures."""
+
+
+class StoreFormatError(StoreError):
+    """The bundle on disk does not match the expected format/version."""
+
+
+def array_path(bundle: str, name: str) -> str:
+    return os.path.join(bundle, f"{name}.npy")
+
+
+def write_bundle(
+    bundle: str,
+    header: dict,
+    arrays: Dict[str, np.ndarray],
+) -> None:
+    """Write header + arrays; validates the manifest against ARRAY_DTYPES."""
+    missing = set(ARRAY_DTYPES) - set(arrays)
+    extra = set(arrays) - set(ARRAY_DTYPES)
+    if missing or extra:
+        raise StoreError(
+            f"array set mismatch: missing={sorted(missing)}, "
+            f"extra={sorted(extra)}"
+        )
+    os.makedirs(bundle, exist_ok=True)
+    header_path = os.path.join(bundle, HEADER_FILE)
+    if os.path.exists(header_path):
+        # Rebuilding over an existing bundle: invalidate it *before*
+        # touching any array, so a crash mid-rebuild can never leave a
+        # valid old header pointing at a mix of old and new arrays.
+        os.remove(header_path)
+    manifest = {}
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr, dtype=ARRAY_DTYPES[name])
+        np.save(array_path(bundle, name), arr)
+        manifest[name] = {"dtype": str(arr.dtype), "shape": list(arr.shape)}
+    header = dict(
+        header, format=FORMAT_NAME, version=FORMAT_VERSION, arrays=manifest
+    )
+    tmp = header_path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(header, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    # The header is written last and moved into place atomically: a
+    # bundle without a valid header is simply not a bundle (yet).
+    os.replace(tmp, header_path)
+
+
+def read_header(bundle: str) -> dict:
+    """Read and validate a bundle's header (format, version, manifest)."""
+    path = os.path.join(bundle, HEADER_FILE)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            header = json.load(handle)
+    except FileNotFoundError:
+        raise StoreFormatError(f"{bundle!r} is not a document bundle "
+                               f"(no {HEADER_FILE})") from None
+    except json.JSONDecodeError as exc:
+        raise StoreFormatError(f"corrupt header in {bundle!r}: {exc}") from None
+    if header.get("format") != FORMAT_NAME:
+        raise StoreFormatError(
+            f"{bundle!r}: unknown format {header.get('format')!r}"
+        )
+    if header.get("version") != FORMAT_VERSION:
+        raise StoreFormatError(
+            f"{bundle!r}: format version {header.get('version')!r} "
+            f"(this reader understands only {FORMAT_VERSION}; rebuild the "
+            "bundle from its source document)"
+        )
+    manifest = header.get("arrays")
+    if not isinstance(manifest, dict) or set(manifest) != set(ARRAY_DTYPES):
+        raise StoreFormatError(f"{bundle!r}: array manifest mismatch")
+    return header
+
+
+def load_array(bundle: str, name: str, manifest: dict, mmap: bool) -> np.ndarray:
+    """Load one manifest array, checking dtype/shape against the header."""
+    path = array_path(bundle, name)
+    try:
+        arr = np.load(path, mmap_mode="r" if mmap else None)
+    except FileNotFoundError:
+        raise StoreFormatError(f"{bundle!r}: missing array {name!r}") from None
+    meta = manifest[name]
+    if str(arr.dtype) != meta["dtype"] or list(arr.shape) != meta["shape"]:
+        raise StoreFormatError(
+            f"{bundle!r}: array {name!r} is {arr.dtype}{list(arr.shape)}, "
+            f"header says {meta['dtype']}{meta['shape']}"
+        )
+    return arr
+
+
+def is_bundle(path: str) -> bool:
+    """Cheap test: does ``path`` look like a document bundle?"""
+    return os.path.isfile(os.path.join(path, HEADER_FILE))
+
+
+def bundle_names(root: str) -> List[str]:
+    """Sorted names of the bundles directly under a corpus directory."""
+    if not os.path.isdir(root):
+        return []
+    return sorted(
+        name
+        for name in os.listdir(root)
+        if is_bundle(os.path.join(root, name))
+    )

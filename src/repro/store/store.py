@@ -1,0 +1,356 @@
+"""Persistent compiled-document store: parse once, reopen in O(arrays).
+
+:func:`save_document` compiles a document down to the flat arrays every
+layer of the engine runs on -- :class:`~repro.tree.binary.BinaryTree`
+navigation arrays, the :class:`~repro.index.labels.LabelIndex` per-label
+sorted id arrays, and the balanced-parentheses bitvector with its
+rank/select directories and excess tables -- and writes them as a
+versioned bundle (:mod:`repro.store.format`).
+
+:func:`open_document` is the O(1)-startup path: every numpy-side array
+is reopened as a read-only ``np.load(mmap_mode="r")`` view (zero copy,
+shared across processes by the page cache), and only the plain-``int``
+list mirrors that the pure-Python inner loops index are materialized --
+no XML parsing, no label re-interning, no argsort, no BP directory
+reconstruction.  The resulting :class:`StoredDocument` plugs into
+:class:`~repro.engine.api.Engine` / `Workspace.add` directly, pickles as
+its path (cheap process-pool payloads), and rebuilds its
+:class:`~repro.index.succinct.SuccinctTree` lazily from the mapped BP
+state.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.index.bitvector import BitVector
+from repro.index.jumping import TreeIndex
+from repro.index.labels import LabelIndex
+from repro.index.succinct import SuccinctTree
+from repro.store.format import (
+    FORMAT_VERSION,
+    StoreError,
+    StoreFormatError,
+    bundle_names,
+    is_bundle,
+    load_array,
+    read_header,
+    write_bundle,
+)
+from repro.tree.binary import BinaryTree
+from repro.tree.document import XMLDocument
+
+Document = Union[str, XMLDocument, BinaryTree, TreeIndex]
+
+
+class StoredDocument:
+    """A compiled document reopened from a bundle.
+
+    Exposes the same surface every engine entry point consumes: ``index``
+    (a ready :class:`TreeIndex`), ``tree``, and a lazy :meth:`succinct`
+    view.  Pickles as its bundle path, so shipping one to a process-pool
+    worker costs a few bytes instead of the whole array payload.
+    """
+
+    def __init__(self, path: str, header: dict, index: TreeIndex) -> None:
+        self.path = path
+        self.header = header
+        self.index = index
+        self._succinct: Optional[SuccinctTree] = None
+
+    @property
+    def tree(self) -> BinaryTree:
+        return self.index.tree
+
+    @property
+    def n(self) -> int:
+        return self.index.tree.n
+
+    @property
+    def labels(self) -> List[str]:
+        return self.index.tree.labels
+
+    def succinct(self) -> SuccinctTree:
+        """The document's BP tree, rehydrated from the mapped state."""
+        if self._succinct is None:
+            header = self.header
+            mmap = header.get("_mmap", True)
+            manifest = header["arrays"]
+            bv = BitVector.from_state(
+                load_array(self.path, "bp_packed", manifest, mmap),
+                header["bp_bits"],
+                load_array(self.path, "bp_word_prefix", manifest, mmap),
+                load_array(self.path, "bp_zero_word_prefix", manifest, mmap),
+            )
+            tree = self.index.tree
+            self._succinct = SuccinctTree.from_state(
+                bv,
+                tree.label_of,
+                tree.labels,
+                load_array(self.path, "bp_block_total", manifest, mmap),
+                load_array(self.path, "bp_block_min", manifest, mmap),
+                load_array(self.path, "bp_block_max", manifest, mmap),
+                load_array(self.path, "bp_block_start_excess", manifest, mmap),
+            )
+        return self._succinct
+
+    def __reduce__(self):
+        # Reopening by path keeps the pickle a few bytes; the original
+        # mmap choice is preserved.  (Path-based pickling requires the
+        # bundle to still exist wherever the unpickle happens.)
+        return (_reopen, (self.path, self.header.get("_mmap", True)))
+
+    def __repr__(self) -> str:
+        return f"StoredDocument({self.path!r}, n={self.n})"
+
+
+def _reopen(path: str, mmap: bool) -> "StoredDocument":
+    return open_document(path, mmap=mmap)
+
+
+def resolve_document(document, encode_attributes: bool, encode_text: bool):
+    """Resolve any accepted document kind to ``(TreeIndex, parens-or-None)``.
+
+    The single dispatch shared by :class:`~repro.engine.api.Engine` and
+    :func:`save_document`, so both accept exactly the same inputs: raw
+    XML text, an event source (``.events(sink)``), an
+    :class:`XMLDocument`, a :class:`BinaryTree`, a :class:`TreeIndex`,
+    or a :class:`StoredDocument` (anything carrying a ready ``.index``).
+    String and event input stream through a
+    :class:`~repro.tree.builder.TreeBuilder`; the second element of the
+    pair is then the accumulated BP parenthesis array (``None`` for the
+    other kinds).  Encode flags are validated here: already-encoded
+    trees/indexes reject them instead of silently ignoring them.
+    """
+    from repro.tree.builder import LateTextChild, TreeBuilder
+
+    stored_index = getattr(document, "index", None)
+    if isinstance(stored_index, TreeIndex) and not isinstance(
+        document, (str, XMLDocument, BinaryTree, TreeIndex)
+    ):
+        document = stored_index
+    if isinstance(document, (TreeIndex, BinaryTree)):
+        if encode_attributes or encode_text:
+            raise ValueError(
+                "encode_attributes/encode_text apply while building the "
+                "binary tree; the given "
+                f"{type(document).__name__} is already encoded"
+            )
+        if isinstance(document, BinaryTree):
+            return TreeIndex(document), None
+        return document, None
+    if isinstance(document, XMLDocument):
+        return (
+            TreeIndex(
+                BinaryTree.from_document(
+                    document,
+                    encode_attributes=encode_attributes,
+                    encode_text=encode_text,
+                )
+            ),
+            None,
+        )
+    if isinstance(document, str) or callable(getattr(document, "events", None)):
+        builder = TreeBuilder(
+            encode_attributes=encode_attributes, encode_text=encode_text
+        )
+        try:
+            if isinstance(document, str):
+                from repro.tree.parser import parse_events
+
+                parse_events(document, builder)
+            else:
+                document.events(builder)
+        except LateTextChild:
+            from repro.tree.parser import parse_xml
+
+            if not isinstance(document, str):
+                raise  # an event source cannot be replayed as XML text
+            return resolve_document(
+                parse_xml(document), encode_attributes, encode_text
+            )
+        return TreeIndex(builder.finish()), builder.parens_array()
+    raise TypeError(
+        f"cannot build a document index from {type(document).__name__}"
+    )
+
+
+def save_document(
+    document: Document,
+    path: str,
+    *,
+    encode_attributes: bool = False,
+    encode_text: bool = False,
+    source: Optional[dict] = None,
+) -> str:
+    """Compile ``document`` and persist it as a bundle at ``path``.
+
+    ``document`` may be raw XML text, an event source (anything with an
+    ``events(sink)`` method, e.g. an
+    :class:`~repro.xmark.generator.XMarkGenerator`), an
+    :class:`XMLDocument`, a :class:`BinaryTree`, or a prebuilt
+    :class:`TreeIndex` (whose label index is reused as-is).  The encode
+    flags apply when the binary tree is built here (string / event /
+    XMLDocument input), exactly as in :class:`~repro.engine.api.Engine`;
+    an already-encoded tree or index rejects them rather than silently
+    ignoring them.  String and event input stream straight through a
+    :class:`~repro.tree.builder.TreeBuilder`, whose accumulated BP
+    parentheses are reused for the succinct state (no re-walk).
+    """
+    index, parens = resolve_document(document, encode_attributes, encode_text)
+    tree = index.tree
+    if not isinstance(tree, BinaryTree):
+        raise TypeError("store bundles require a BinaryTree-backed index")
+    if parens is not None:
+        succinct = SuccinctTree(parens, tree.label_of, tree.labels)
+    else:
+        succinct = SuccinctTree.from_binary(tree)
+    bv_state = succinct.bv.state()
+    bp_state = succinct.state()
+    label_ids, label_bounds = index.labels.state()
+    arrays = {
+        "label_of": np.asarray(tree.label_of, dtype=np.int64),
+        "left": np.asarray(tree.left, dtype=np.int64),
+        "right": np.asarray(tree.right, dtype=np.int64),
+        "parent": np.asarray(tree.parent, dtype=np.int64),
+        "bparent": np.asarray(tree.bparent, dtype=np.int64),
+        "xml_end": np.asarray(tree.xml_end, dtype=np.int64),
+        "label_ids": label_ids,
+        "label_bounds": label_bounds,
+        "bp_packed": bv_state["packed"],
+        "bp_word_prefix": bv_state["word_prefix"],
+        "bp_zero_word_prefix": bv_state["zero_word_prefix"],
+        "bp_block_total": bp_state["block_total"],
+        "bp_block_min": bp_state["block_min"],
+        "bp_block_max": bp_state["block_max"],
+        "bp_block_start_excess": bp_state["block_start_excess"],
+    }
+    header = {
+        "n": tree.n,
+        "labels": list(tree.labels),
+        "bp_bits": succinct.bv.n,
+        "encoded_attributes": any(l.startswith("@") for l in tree.labels),
+        "encoded_text": "#text" in tree.labels,
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "source": source or {},
+    }
+    write_bundle(path, header, arrays)
+    return path
+
+
+def open_document(path: str, *, mmap: bool = True) -> StoredDocument:
+    """Reopen a bundle with zero re-parsing (see the module docstring).
+
+    ``mmap=False`` reads the arrays into memory instead of mapping them
+    (useful when the bundle lives on storage slated for deletion).
+    """
+    header = read_header(path)
+    manifest = header["arrays"]
+    load = lambda name: load_array(path, name, manifest, mmap)  # noqa: E731
+
+    labels = list(header["labels"])
+    label_of_arr = load("label_of")
+    left_arr = load("left")
+    right_arr = load("right")
+    parent_arr = load("parent")
+    bparent_arr = load("bparent")
+    xml_end_arr = load("xml_end")
+    n = int(header["n"])
+    if label_of_arr.shape != (n,):
+        raise StoreFormatError(
+            f"{path!r}: header n={n} but label_of has shape "
+            f"{label_of_arr.shape}"
+        )
+    # The scalar inner loops of the evaluator index these per node; the
+    # plain-list mirrors keep every id a Python int (and keep list
+    # indexing speed), while the numpy views below stay zero-copy.
+    tree = BinaryTree.from_arrays(
+        labels,
+        label_of_arr.tolist(),
+        left_arr.tolist(),
+        right_arr.tolist(),
+        parent_arr.tolist(),
+        xml_end_arr.tolist(),
+        bparent=bparent_arr.tolist(),
+    )
+    label_index = LabelIndex.from_state(
+        tree, load("label_ids"), load("label_bounds")
+    )
+    index = TreeIndex(tree, labels=label_index)
+    # Seed the vectorized-path caches with the mapped arrays directly --
+    # the hybrid/fused strategies then slice the store file itself.
+    index._xml_end_arr = xml_end_arr
+    index._parent_arr = parent_arr
+    index._label_of_arr = label_of_arr
+    if mmap:
+        # Advertise the bundle for cheap process-pool payloads (workers
+        # reopen the mapped file).  An mmap=False open is for bundles
+        # whose storage may go away, so its payloads ship the arrays
+        # themselves instead of a path that may no longer resolve.
+        index.store_path = os.path.abspath(path)
+    header["_mmap"] = mmap
+    return StoredDocument(os.path.abspath(path), header, index)
+
+
+class DocumentStore:
+    """A corpus directory of named bundles (one subdirectory per document).
+
+    >>> import tempfile
+    >>> root = tempfile.mkdtemp()
+    >>> store = DocumentStore(root)
+    >>> _ = store.save("tiny", "<r><a><b/></a></r>")
+    >>> store.names()
+    ['tiny']
+    >>> store.open("tiny").n
+    4
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    def path_for(self, name: str) -> str:
+        # Both separator styles are rejected regardless of platform
+        # (os.path.join treats either on Windows), as are relative
+        # segments -- a name must stay a single path component under
+        # the store root.
+        if (
+            not name
+            or name in (".", "..")
+            or "/" in name
+            or "\\" in name
+            or os.sep in name
+        ):
+            raise ValueError(f"invalid document name {name!r}")
+        return os.path.join(self.root, name)
+
+    def save(self, name: str, document: Document, **kwargs) -> str:
+        """Compile and persist ``document`` under ``name``."""
+        return save_document(document, self.path_for(name), **kwargs)
+
+    def open(self, name: str, *, mmap: bool = True) -> StoredDocument:
+        """Reopen the named bundle."""
+        path = self.path_for(name)
+        if not is_bundle(path):
+            raise StoreError(
+                f"no document {name!r} in {self.root!r}; "
+                f"present: {self.names()}"
+            )
+        return open_document(path, mmap=mmap)
+
+    def names(self) -> List[str]:
+        """Sorted names of the documents in this store."""
+        return bundle_names(self.root)
+
+    def headers(self) -> Dict[str, dict]:
+        """Validated header of every bundle (for ``repro store ls``)."""
+        return {name: read_header(self.path_for(name)) for name in self.names()}
+
+    def __contains__(self, name: str) -> bool:
+        return is_bundle(os.path.join(self.root, name))
+
+    def __len__(self) -> int:
+        return len(self.names())

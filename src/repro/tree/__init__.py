@@ -6,13 +6,17 @@ provides:
 
 - :class:`~repro.tree.document.XMLNode` / :class:`~repro.tree.document.XMLDocument`
   -- an ordered labelled tree with document-order numbering,
-- :func:`~repro.tree.parser.parse_xml` -- a small dependency-free XML parser,
+- :func:`~repro.tree.parser.parse_xml` / :func:`~repro.tree.parser.parse_events`
+  -- a small dependency-free, event-driven XML parser,
+- :class:`~repro.tree.builder.TreeBuilder` -- the streaming event sink
+  that appends parser events directly into binary-tree arrays,
 - :class:`~repro.tree.binary.BinaryTree` -- the array-backed fcns encoding
   that all automata run over.
 """
 
 from repro.tree.document import XMLDocument, XMLNode
-from repro.tree.parser import XMLSyntaxError, parse_xml
+from repro.tree.parser import XMLSyntaxError, parse_events, parse_xml
+from repro.tree.builder import TreeBuilder, XMLNodeBuilder, build_tree_from_xml
 from repro.tree.binary import BinaryTree, NIL
 from repro.tree.serialize import to_xml
 
@@ -21,6 +25,10 @@ __all__ = [
     "XMLNode",
     "XMLSyntaxError",
     "parse_xml",
+    "parse_events",
+    "TreeBuilder",
+    "XMLNodeBuilder",
+    "build_tree_from_xml",
     "BinaryTree",
     "NIL",
     "to_xml",

@@ -64,6 +64,7 @@ class BinaryTree:
         right: list[int],
         parent: list[int],
         xml_end: list[int],
+        bparent: Optional[list[int]] = None,
     ) -> None:
         self.labels = labels
         self.label_ids = {name: i for i, name in enumerate(labels)}
@@ -73,7 +74,11 @@ class BinaryTree:
         self.parent = parent
         self.xml_end = xml_end
         self.n = len(label_of)
-        self.bparent = self._compute_binary_parents()
+        # A streaming builder (or a reopened store bundle) supplies the
+        # binary-parent array it already computed; otherwise derive it.
+        self.bparent = (
+            bparent if bparent is not None else self._compute_binary_parents()
+        )
 
     # -- construction ------------------------------------------------------
 
@@ -161,11 +166,39 @@ class BinaryTree:
         return cls.from_document(XMLDocument(_spec_to_node(spec)))
 
     @classmethod
-    def from_xml(cls, text: str) -> "BinaryTree":
-        """Parse an XML string and encode it."""
-        from repro.tree.parser import parse_xml
+    def from_xml(
+        cls,
+        text: str,
+        encode_attributes: bool = False,
+        encode_text: bool = False,
+    ) -> "BinaryTree":
+        """Parse an XML string and encode it -- streaming.
 
-        return cls.from_document(parse_xml(text))
+        Scanner events feed a :class:`repro.tree.builder.TreeBuilder`
+        that appends straight into this class's arrays; no intermediate
+        :class:`XMLNode` tree is materialized.
+        """
+        from repro.tree.builder import build_tree_from_xml
+
+        return build_tree_from_xml(
+            text,
+            encode_attributes=encode_attributes,
+            encode_text=encode_text,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        labels: list[str],
+        label_of: list[int],
+        left: list[int],
+        right: list[int],
+        parent: list[int],
+        xml_end: list[int],
+        bparent: Optional[list[int]] = None,
+    ) -> "BinaryTree":
+        """Rehydrate from precompiled arrays (a reopened store bundle)."""
+        return cls(labels, label_of, left, right, parent, xml_end, bparent)
 
     def _compute_binary_parents(self) -> list[int]:
         """Binary parent: the node whose left *or* right child this is."""

@@ -1,20 +1,31 @@
-"""A small, dependency-free XML parser.
+"""A small, dependency-free, event-driven XML parser.
 
 Supports the subset of XML needed for the paper's workloads: elements,
 attributes, character data, comments, CDATA, processing instructions, an
 optional XML declaration and DOCTYPE (both skipped), and the five standard
 entities.  Namespaces are treated textually (prefix kept in the label).
 
-This is deliberately a recursive-descent parser over a single string with
-an explicit element stack; it handles megabyte-scale documents without
+The scanner is an *event emitter*: :func:`parse_events` walks the input
+once and calls ``start_element`` / ``characters`` / ``end_element`` on a
+handler object (the :class:`EventHandler` protocol).  Everything else is a
+handler:
+
+- :func:`parse_xml` materializes an :class:`XMLNode` tree (the legacy
+  pointer view, still used by tests and serialization);
+- :class:`repro.tree.builder.TreeBuilder` appends directly into the flat
+  arrays of :class:`repro.tree.binary.BinaryTree` -- the streaming
+  ingestion hot path, which never allocates an ``XMLNode``.
+
+This is deliberately a single-pass scanner over one string with an
+explicit element stack; it handles megabyte-scale documents without
 recursion-depth issues.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Protocol
 
-from repro.tree.document import XMLDocument, XMLNode
+from repro.tree.document import XMLDocument
 
 _ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
 
@@ -30,6 +41,45 @@ class XMLSyntaxError(ValueError):
     def __init__(self, message: str, position: int) -> None:
         super().__init__(f"{message} (at offset {position})")
         self.position = position
+
+
+class EventHandler(Protocol):
+    """What the scanner calls while walking a document."""
+
+    def start_element(self, name: str, attrs: Optional[dict]) -> None: ...
+
+    def characters(self, data: str) -> None: ...
+
+    def end_element(self, name: str) -> None: ...
+
+
+def _char_ref(name: str, position: int) -> str:
+    """Decode ``#N`` / ``#xH`` character-reference payloads strictly.
+
+    Malformed digits, out-of-range code points (> U+10FFFF or negative)
+    and surrogates (U+D800..U+DFFF, not XML characters) are all reported
+    as :class:`XMLSyntaxError` with the reference's offset rather than
+    leaking a bare ``ValueError`` from ``int()`` / ``chr()``.
+    """
+    try:
+        if name.startswith("#x") or name.startswith("#X"):
+            code = int(name[2:], 16)
+        else:
+            code = int(name[1:])
+    except ValueError:
+        raise XMLSyntaxError(
+            f"malformed character reference &{name};", position
+        ) from None
+    if code < 0 or code > 0x10FFFF:
+        raise XMLSyntaxError(
+            f"character reference &{name}; out of range", position
+        )
+    if 0xD800 <= code <= 0xDFFF:
+        raise XMLSyntaxError(
+            f"character reference &{name}; is a surrogate code point",
+            position,
+        )
+    return chr(code)
 
 
 def _decode_entities(text: str, base: int) -> str:
@@ -49,10 +99,8 @@ def _decode_entities(text: str, base: int) -> str:
         if end == -1:
             raise XMLSyntaxError("unterminated entity reference", base + i)
         name = text[i + 1 : end]
-        if name.startswith("#x") or name.startswith("#X"):
-            out.append(chr(int(name[2:], 16)))
-        elif name.startswith("#"):
-            out.append(chr(int(name[1:])))
+        if name.startswith("#"):
+            out.append(_char_ref(name, base + i))
         elif name in _ENTITIES:
             out.append(_ENTITIES[name])
         else:
@@ -61,13 +109,14 @@ def _decode_entities(text: str, base: int) -> str:
     return "".join(out)
 
 
-class _Parser:
-    """Single-pass XML scanner producing an :class:`XMLNode` tree."""
+class _Scanner:
+    """Single-pass XML scanner emitting events to a handler."""
 
-    def __init__(self, text: str) -> None:
+    def __init__(self, text: str, handler: EventHandler) -> None:
         self.text = text
         self.pos = 0
         self.n = len(text)
+        self.handler = handler
 
     # -- low-level helpers -------------------------------------------------
 
@@ -97,8 +146,8 @@ class _Parser:
         self.pos = i
         return text[start:i]
 
-    def _read_attributes(self) -> dict[str, str]:
-        attrs: dict[str, str] = {}
+    def _read_attributes(self) -> Optional[dict[str, str]]:
+        attrs: Optional[dict[str, str]] = None
         while True:
             self._skip_ws()
             if self.pos >= self.n:
@@ -117,6 +166,8 @@ class _Parser:
             if end == -1:
                 raise self._error("unterminated attribute value")
             raw = self.text[self.pos + 1 : end]
+            if attrs is None:
+                attrs = {}
             attrs[name] = _decode_entities(raw, self.pos + 1)
             self.pos = end + 1
 
@@ -151,53 +202,52 @@ class _Parser:
             else:
                 return
 
-    # -- document parsing --------------------------------------------------
+    # -- document scanning -------------------------------------------------
 
-    def parse(self) -> XMLDocument:
+    def parse(self) -> None:
         self._skip_misc()
-        root = self._parse_element_tree()
+        self._scan_element_tree()
         self._skip_misc()
         if self.pos != self.n:
             raise self._error("content after document element")
-        return XMLDocument(root)
 
-    def _parse_element_tree(self) -> XMLNode:
-        """Parse one element and its content iteratively (explicit stack)."""
-        root = self._parse_open_tag()
+    def _scan_element_tree(self) -> None:
+        """Scan one element and its content iteratively (explicit stack)."""
+        handler = self.handler
+        root = self._scan_open_tag()
         if root is None:
             raise self._error("expected an element")
-        node, empty = root
+        name, empty = root
         if empty:
-            return node
-        stack: list[XMLNode] = [node]
-        text_parts: dict[int, list[str]] = {id(node): []}
+            handler.end_element(name)
+            return
+        stack: list[str] = [name]
         while stack:
-            top = stack[-1]
-            self._scan_text(text_parts[id(top)])
+            self._scan_text()
             if self.text.startswith("</", self.pos):
                 self.pos += 2
                 name = self._read_name()
-                if name != top.label:
+                if name != stack[-1]:
                     raise self._error(
-                        f"mismatched end tag </{name}> for <{top.label}>"
+                        f"mismatched end tag </{name}> for <{stack[-1]}>"
                     )
                 self._skip_ws()
                 self._expect(">")
-                top.text = "".join(text_parts.pop(id(top)))
+                handler.end_element(name)
                 stack.pop()
                 continue
-            opened = self._parse_open_tag()
+            opened = self._scan_open_tag()
             if opened is None:
                 raise self._error("unexpected content in element")
             child, empty = opened
-            top.append(child)
-            if not empty:
+            if empty:
+                handler.end_element(child)
+            else:
                 stack.append(child)
-                text_parts[id(child)] = []
-        return node
 
-    def _scan_text(self, sink: list[str]) -> None:
-        """Accumulate character data / CDATA until the next tag."""
+    def _scan_text(self) -> None:
+        """Emit character data / CDATA runs until the next tag."""
+        handler = self.handler
         while True:
             if self.pos >= self.n:
                 raise self._error("unexpected end of input inside element")
@@ -205,7 +255,7 @@ class _Parser:
                 end = self.text.find("]]>", self.pos + 9)
                 if end == -1:
                     raise self._error("unterminated CDATA section")
-                sink.append(self.text[self.pos + 9 : end])
+                handler.characters(self.text[self.pos + 9 : end])
                 self.pos = end + 3
                 continue
             if self.text.startswith("<!--", self.pos):
@@ -225,15 +275,15 @@ class _Parser:
                 raise self._error("unexpected end of input inside element")
             if nxt > self.pos:
                 raw = self.text[self.pos : nxt]
-                sink.append(_decode_entities(raw, self.pos))
+                handler.characters(_decode_entities(raw, self.pos))
                 self.pos = nxt
                 continue
             return
 
-    def _parse_open_tag(self) -> Optional[tuple[XMLNode, bool]]:
-        """Parse ``<name attrs>`` or ``<name attrs/>``.
+    def _scan_open_tag(self) -> Optional[tuple[str, bool]]:
+        """Scan ``<name attrs>`` or ``<name attrs/>`` and emit the start.
 
-        Returns ``(node, is_empty)`` or None if not at a start tag.
+        Returns ``(name, is_empty)`` or None if not at a start tag.
         """
         if not self.text.startswith("<", self.pos):
             return None
@@ -242,12 +292,18 @@ class _Parser:
         self.pos += 1
         name = self._read_name()
         attrs = self._read_attributes()
-        node = XMLNode(name, attributes=attrs or None)
         if self.text.startswith("/>", self.pos):
             self.pos += 2
-            return node, True
+            self.handler.start_element(name, attrs)
+            return name, True
         self._expect(">")
-        return node, False
+        self.handler.start_element(name, attrs)
+        return name, False
+
+
+def parse_events(text: str, handler: EventHandler) -> None:
+    """Scan ``text`` once, emitting SAX-style events to ``handler``."""
+    _Scanner(text, handler).parse()
 
 
 def parse_xml(text: str) -> XMLDocument:
@@ -257,4 +313,9 @@ def parse_xml(text: str) -> XMLDocument:
     >>> [child.label for child in doc.root.children]
     ['b', 'c']
     """
-    return _Parser(text).parse()
+    # Imported lazily: builder.py imports this module at load time.
+    from repro.tree.builder import XMLNodeBuilder
+
+    handler = XMLNodeBuilder()
+    parse_events(text, handler)
+    return handler.document()

@@ -1,6 +1,7 @@
 """Command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -156,3 +157,72 @@ class TestBatchCLI:
         path.write_text("//a[\n")
         code, _ = run(["batch", "--queries", str(path), xml_file])
         assert code == 1
+
+
+class TestStoreCLI:
+    def test_build_ls_query_flow(self, xml_file, tmp_path):
+        bundle = str(tmp_path / "bundle")
+        code, out = run(["store", "build", bundle, xml_file])
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["nodes"] == 4 and summary["version"] == 1
+
+        code, out = run(["store", "ls", bundle])
+        assert code == 0
+        assert json.loads(out)[0]["nodes"] == 4
+
+        code, out = run(["store", "query", "//a/b", bundle])
+        assert code == 0
+        assert out.strip() == "2"
+
+        code, out = run(["store", "query", "//b", bundle, "--count"])
+        assert code == 0 and out.strip() == "2"
+
+    def test_build_xmark_and_corpus_ls(self, tmp_path):
+        root = tmp_path / "corpus"
+        code, out = run(
+            ["store", "build", str(root / "xm"), "--xmark", "0.02"]
+        )
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["nodes"] > 100
+
+        code, out = run(["store", "ls", str(root)])
+        assert code == 0
+        listing = json.loads(out)
+        assert [b["name"] for b in listing] == ["xm"]
+
+        code, out = run(["store", "query", "//edge", str(root / "xm"), "--count"])
+        assert code == 0
+        assert int(out.strip()) > 0
+
+    def test_build_legacy_tree_matches_streaming(self, xml_file, tmp_path):
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        assert run(["store", "build", a, xml_file])[0] == 0
+        assert run(["store", "build", b, xml_file, "--legacy-tree"])[0] == 0
+        assert run(["store", "query", "//b", a])[1] == run(
+            ["store", "query", "//b", b]
+        )[1]
+
+    def test_build_attributes_encoding(self, xml_file, tmp_path):
+        bundle = str(tmp_path / "attrs")
+        code, _ = run(["store", "build", bundle, xml_file, "--attributes"])
+        assert code == 0
+        code, out = run(["store", "query", "//a[@id]", bundle, "--count"])
+        assert code == 0 and out.strip() == "1"
+
+    def test_query_missing_bundle_is_an_error(self, tmp_path):
+        code, _ = run(["store", "query", "//a", str(tmp_path / "nope")])
+        assert code == 1
+
+    def test_build_file_and_xmark_conflict(self, xml_file, tmp_path):
+        with pytest.raises(SystemExit):
+            run(["store", "build", str(tmp_path / "x"), xml_file, "--xmark", "1"])
+
+    def test_query_stats_record_store(self, xml_file, tmp_path, capsys):
+        bundle = str(tmp_path / "bundle")
+        run(["store", "build", bundle, xml_file])
+        code, _ = run(["store", "query", "//b", bundle, "--stats"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().err)
+        assert payload["store"].endswith("bundle")

@@ -115,3 +115,59 @@ class TestScale:
         )
         doc = parse_xml(text)
         assert doc.size() == depth
+
+
+class TestMalformedCharacterReferences:
+    """&#...; payloads must fail as XMLSyntaxError, never a bare ValueError."""
+
+    @pytest.mark.parametrize(
+        "ref",
+        [
+            "&#xZZZ;",       # non-hex digits
+            "&#abc;",        # non-decimal digits
+            "&#;",           # empty decimal
+            "&#x;",          # empty hex
+            "&#x110000;",    # beyond U+10FFFF
+            "&#1114112;",    # beyond U+10FFFF, decimal
+            "&#xD800;",      # surrogate low bound
+            "&#xDFFF;",      # surrogate high bound
+            "&#55296;",      # surrogate, decimal
+            "&#-5;",         # negative
+        ],
+    )
+    def test_rejected_with_offset(self, ref):
+        for xml in (f"<a>{ref}</a>", f"<a x='{ref}'/>"):
+            with pytest.raises(XMLSyntaxError) as excinfo:
+                parse_xml(xml)
+            assert excinfo.value.position == xml.index("&")
+
+    def test_valid_boundaries_still_accepted(self):
+        doc = parse_xml("<a>&#x10FFFF;&#xD7FF;&#xE000;&#0;</a>")
+        assert doc.root.text == "\U0010ffff퟿\x00"
+
+
+class TestEventAPI:
+    def test_event_stream_shape(self):
+        from repro.tree.parser import parse_events
+
+        events = []
+
+        class Recorder:
+            def start_element(self, name, attrs):
+                events.append(("start", name, attrs))
+
+            def characters(self, data):
+                events.append(("chars", data))
+
+            def end_element(self, name):
+                events.append(("end", name))
+
+        parse_events("<a x='1'>hi<b/> <!--c--></a>", Recorder())
+        assert events == [
+            ("start", "a", {"x": "1"}),
+            ("chars", "hi"),
+            ("start", "b", None),
+            ("end", "b"),
+            ("chars", " "),
+            ("end", "a"),
+        ]
