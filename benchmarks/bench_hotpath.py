@@ -33,6 +33,9 @@ def test_hotpath_strategies_match_naive_oracle():
     and query; also emits the bench artifact for CI upload."""
     report = baseline.build_report(scales=(SCALE,), repeats=REPEATS)
     entry = report["scales"][str(SCALE)]
+    # The set-at-a-time strategy is tracked here too (against the
+    # pre-PR-2 baseline's 'optimized' numbers).
+    assert "vectorized" in entry["strategies"]
     for strat, rec in entry["strategies"].items():
         for qid, row in rec["per_query"].items():
             assert row["oracle_match"], (strat, qid)

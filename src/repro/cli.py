@@ -7,6 +7,7 @@ Examples::
     cat doc.xml | python -m repro.cli '/site/regions' --strategy hybrid
     python -m repro.cli '//a[b]' doc.xml --explain
     python -m repro.cli --list-strategies
+    python -m repro.cli plan explain '//listitem//keyword' --xmark 0.5
     python -m repro.cli batch --queries queries.txt --jobs 4 --xmark 0.5
     python -m repro.cli store build /var/xml/auctions --xmark 1.0
     python -m repro.cli store ls /var/xml/auctions
@@ -54,8 +55,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--strategy",
         choices=registry.strategy_names(),
-        default="optimized",
-        help="evaluation strategy (default: optimized)",
+        default="auto",
+        help="evaluation strategy (default: auto, the cost-based planner)",
     )
     parser.add_argument(
         "--list-strategies",
@@ -138,8 +139,8 @@ def build_batch_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--strategy",
         choices=registry.strategy_names(),
-        default="optimized",
-        help="evaluation strategy (default: optimized)",
+        default="auto",
+        help="evaluation strategy (default: auto, the cost-based planner)",
     )
     parser.add_argument(
         "--count", action="store_true", help="emit result counts, not id lists"
@@ -219,8 +220,8 @@ def build_store_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--strategy",
         choices=registry.strategy_names(),
-        default="optimized",
-        help="evaluation strategy (default: optimized)",
+        default="auto",
+        help="evaluation strategy (default: auto, the cost-based planner)",
     )
     query.add_argument(
         "--count", action="store_true", help="print only the number of results"
@@ -375,8 +376,84 @@ def store_main(argv: List[str], out) -> int:
             strategy=plan.strategy.name,
             nodes=len(engine.tree),
             store=stored.path,
+            caches=engine.cache_info(),
         )
         print(json.dumps(snapshot, sort_keys=True), file=sys.stderr)
+    return 0
+
+
+def build_plan_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro plan",
+        description=(
+            "inspect the cost-based planner: which strategy the 'auto' "
+            "default picks for a query on a document, and why"
+        ),
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    explain = sub.add_parser(
+        "explain",
+        help="show the chosen strategy, cost estimates, and features",
+    )
+    explain.add_argument("query", help="an XPath query")
+    explain.add_argument(
+        "file",
+        nargs="?",
+        help="XML document (default: stdin, unless --xmark is given)",
+    )
+    explain.add_argument(
+        "--xmark",
+        type=float,
+        metavar="SCALE",
+        help="plan against a generated XMark document instead of a file",
+    )
+    explain.add_argument(
+        "--seed", type=int, default=42, help="seed for --xmark (default 42)"
+    )
+    explain.add_argument(
+        "--attributes",
+        action="store_true",
+        help="encode attributes as @name children",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the planner verdict as JSON instead of text",
+    )
+    return parser
+
+
+def plan_main(argv: List[str], out) -> int:
+    from repro.engine.planner import plan_explain
+
+    parser = build_plan_parser()
+    args = parser.parse_args(argv)
+    if args.file and args.xmark is not None:
+        parser.error("give either a document file or --xmark, not both")
+    try:
+        if args.xmark is not None:
+            generator = XMarkGenerator(scale=args.xmark, seed=args.seed)
+            doc = (
+                generator.document() if args.attributes else generator.tree()
+            )
+        elif args.file:
+            with open(args.file, "r", encoding="utf-8") as f:
+                doc = f.read()
+        else:
+            doc = sys.stdin.read()
+        engine = Engine(
+            doc, strategy="auto", encode_attributes=args.attributes
+        )
+        if args.json:
+            print(
+                json.dumps(plan_explain(engine, args.query), sort_keys=True),
+                file=out,
+            )
+        else:
+            print(engine.prepare(args.query).explain(), file=out)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -479,6 +556,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return batch_main(argv[1:], out)
     if argv and argv[0] == "store":
         return store_main(argv[1:], out)
+    if argv and argv[0] == "plan":
+        return plan_main(argv[1:], out)
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -536,6 +615,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             query=args.query,
             strategy=plan.strategy.name,
             nodes=len(engine.tree),
+            caches=engine.cache_info(),
         )
         print(json.dumps(snapshot, sort_keys=True), file=sys.stderr)
     return 0

@@ -21,7 +21,12 @@ are cached, without which a Python implementation could not jump at all.)
 Section 4.4, :mod:`repro.engine.deterministic` the minimal-TDSTA pipeline
 for predicate-free path queries (Section 3 end to end), and
 :mod:`repro.engine.mixed` the forward-prefix + step-wise pipeline for
-backward axes (Section 6).
+backward axes (Section 6).  Beyond the paper's engines,
+:mod:`repro.engine.frontier` evaluates absolute forward paths
+*set-at-a-time* over numpy node-id frontiers (the ``vectorized``
+strategy), and :mod:`repro.engine.planner` is the cost-based ``auto``
+planner that picks a strategy per query+document and adapts from
+execution feedback.
 
 Every engine doubles as a *strategy plugin*: it registers itself in
 :mod:`repro.engine.registry`, declares which query fragment it supports,

@@ -20,7 +20,9 @@ for many documents sharing one compiled-query cache use
 
 from __future__ import annotations
 
+import os
 import threading
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.asta.automaton import ASTA
@@ -32,6 +34,11 @@ from repro.tree.binary import BinaryTree
 from repro.tree.document import XMLDocument
 from repro.xpath.ast import Path
 from repro.xpath.parser import parse_xpath
+
+#: Default LRU capacity of the per-engine prepared-plan cache.  A
+#: long-lived service streaming distinct query strings past one document
+#: would otherwise hold every plan (and its warmed tables) forever.
+PLAN_CACHE_SIZE = int(os.environ.get("REPRO_PLAN_CACHE_SIZE", "256"))
 
 
 class Engine:
@@ -50,14 +57,17 @@ class Engine:
         compiled, so construction does no parsing at all.
     strategy:
         Any name registered in :mod:`repro.engine.registry` (built-ins:
-        ``naive | jumping | memo | optimized | hybrid | deterministic |
-        mixed``; default ``optimized``).  Strategies that do not support
-        a given query fall back along their declared chain -- ``hybrid``
-        applies start-anywhere planning to descendant chains and falls
-        back to ``optimized``; ``deterministic`` runs predicate-free path
-        queries through the minimal-TDSTA pipeline of Section 3
-        (Algorithm B.1); queries with backward axes always resolve to
-        ``mixed`` (Section 6).
+        ``auto | naive | jumping | memo | optimized | hybrid |
+        deterministic | mixed | vectorized``; default ``optimized``).
+        Strategies that do not support a given query fall back along
+        their declared chain -- ``hybrid`` applies start-anywhere
+        planning to descendant chains and falls back to ``optimized``;
+        ``deterministic`` runs predicate-free path queries through the
+        minimal-TDSTA pipeline of Section 3 (Algorithm B.1);
+        ``vectorized`` evaluates absolute forward paths set-at-a-time
+        over numpy frontiers; ``auto`` is the cost-based planner that
+        picks among them per query+document (the CLI's default); queries
+        with backward axes always resolve to ``mixed`` (Section 6).
     cache:
         An optional shared :class:`CompiledQueryCache` (a
         :class:`~repro.engine.workspace.Workspace` passes one cache to
@@ -83,7 +93,12 @@ class Engine:
         )
         self.tree = self.index.tree
         self.cache = cache if cache is not None else CompiledQueryCache()
-        self._plans: Dict[Tuple[str, str], PreparedQuery] = {}
+        self._plans: "OrderedDict[Tuple[str, str], PreparedQuery]" = (
+            OrderedDict()
+        )
+        self._plan_hits = 0
+        self._plan_misses = 0
+        self._plan_evictions = 0
         self._plans_lock = threading.Lock()
         self._plans_generation = registry.generation()
         self.set_strategy(strategy)
@@ -117,10 +132,13 @@ class Engine:
     ) -> PreparedQuery:
         """Parse, compile, and resolve ``query`` into a reusable plan.
 
-        Plans are cached per ``(query, strategy)``: preparing the same
-        query twice returns the same object, and ``execute()`` on it does
-        zero re-parsing and zero re-compilation.  The plan cache is
-        guarded by a lock so pool threads of a
+        Plans are cached per ``(query, strategy)`` in an LRU bounded by
+        :attr:`plan_cache_size`: re-preparing a query returns the same
+        object while it stays cached (``execute()`` on it does zero
+        re-parsing and zero re-compilation); a query evicted by
+        ``plan_cache_size`` *distinct* newer ones is rebuilt -- and
+        re-warms -- on its next prepare.  The plan cache is guarded by a
+        lock so pool threads of a
         :class:`~repro.engine.parallel.QueryService` can prepare
         different queries on one shard engine concurrently without
         duplicating plans or racing the generation check.
@@ -139,7 +157,39 @@ class Engine:
                 resolved = registry.resolve(name, path)
                 plan = PreparedQuery(self, query, path, resolved)
                 self._plans[key] = plan
+                self._plan_misses += 1
+                while len(self._plans) > self.plan_cache_size:
+                    self._plans.popitem(last=False)
+                    self._plan_evictions += 1
+            else:
+                self._plans.move_to_end(key)
+                self._plan_hits += 1
         return plan
+
+    plan_cache_size: int = PLAN_CACHE_SIZE
+
+    def cache_info(self) -> dict:
+        """Statistics of every bounded cache this engine touches.
+
+        ``plans`` is the per-engine LRU of prepared plans, ``fused`` the
+        label index's merged-union LRU, ``compiled`` the (possibly
+        shared) compiled-automaton cache.  Surfaced by the CLI's
+        ``--stats`` so a long-lived service can watch its memory-relevant
+        caches stay bounded.
+        """
+        with self._plans_lock:
+            plans = {
+                "size": len(self._plans),
+                "maxsize": self.plan_cache_size,
+                "hits": self._plan_hits,
+                "misses": self._plan_misses,
+                "evictions": self._plan_evictions,
+            }
+        return {
+            "plans": plans,
+            "fused": self.index.labels.cache_info(),
+            "compiled": self.cache.cache_info(),
+        }
 
     def execute(self, query: Union[str, Path]) -> ExecutionResult:
         """Prepare (or reuse) a plan and execute it once."""

@@ -1,0 +1,382 @@
+"""Set-at-a-time vectorized evaluation: whole frontiers per step.
+
+Every other strategy in this library -- including the PR 2 interned hot
+path -- advances *one node per Python-level step*.  This module is the
+column-store counterpart: the run state is a sorted ``np.int64`` array of
+node ids (the *frontier*), and each location step of the query moves the
+whole frontier at once:
+
+- child / attribute transitions are one vectorized membership test of
+  ``parent[candidates]`` against the frontier
+  (:func:`numpy.searchsorted` over the sorted frontier);
+- descendant transitions are subtree-interval arithmetic: the frontier
+  is staircase-pruned to disjoint top-most ``[v, xml_end[v])`` ranges
+  and every candidate is located in (at most) one range with a single
+  batched binary search;
+- following-sibling transitions reduce to a per-parent minimum over the
+  frontier plus one membership probe per candidate;
+- predicates become boolean masks over the frontier, computed *back to
+  front*: for an existence path ``p1/p2/.../pk`` the match sets
+  ``M_k ... M_1`` (nodes from which the path suffix matches) are built
+  with the same three vectorized primitives, so a predicate costs a few
+  array passes instead of a per-node automaton run.
+
+Candidate arrays come straight from the
+:class:`~repro.index.labels.LabelIndex`: per-label sorted id arrays for
+named tests, and :meth:`LabelIndex.fused` merged unions for wildcard /
+``node()`` / multi-label tests (the same cached unions the tda jump
+machinery uses).  Because node ids are document order and every mask
+selects a subset of a sorted duplicate-free candidate array, results are
+produced sorted and duplicate-free -- byte-identical to the reference
+oracle with no sort and no dedup pass.
+
+Counters are *redefined* for this strategy (see ``EvalStats``): a node
+is "visited" when its array element is touched by a vectorized pass, a
+"jump" is one batched index operation (a searchsorted / membership
+pass over a whole frontier), and ``index_probes`` counts the probe
+elements of those batches.  Totals stay comparable to the node-at-a-time
+engines -- the same relevant elements are touched, just many per
+operation instead of one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.counters import EvalStats
+from repro.engine.registry import StrategyBase, register_strategy
+from repro.index.jumping import TreeIndex
+from repro.xpath.ast import (
+    Axis,
+    Path,
+    Pred,
+    PredAnd,
+    PredNot,
+    PredOr,
+    PredPath,
+    Step,
+)
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def is_vectorizable(path: Path) -> bool:
+    """The fragment this evaluator covers natively: absolute forward
+    paths (backward axes route through the mixed pipeline, relative
+    top-level paths through the automaton engines)."""
+    return path.absolute and bool(path.steps) and not path.has_backward_axes()
+
+
+def evaluate(
+    query: "str | Path",
+    index: TreeIndex,
+    stats: Optional[EvalStats] = None,
+) -> Tuple[bool, List[int]]:
+    """Evaluate set-at-a-time; returns ``(accepted, selected ids)``."""
+    if isinstance(query, str):
+        from repro.xpath.parser import parse_xpath
+
+        path = parse_xpath(query)
+    else:
+        path = query
+    if not is_vectorizable(path):
+        raise ValueError(
+            f"query {str(path)!r} is outside the vectorized fragment "
+            "(absolute forward paths only)"
+        )
+    frontier = _eval_steps(index, path.steps, None, stats)
+    ids = frontier.tolist()
+    if stats is not None:
+        stats.selected += len(ids)
+    return bool(ids), ids
+
+
+# -- the frontier loop -------------------------------------------------------
+
+
+def _eval_steps(
+    index: TreeIndex,
+    steps: tuple,
+    frontier: Optional[np.ndarray],
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Run location steps over a frontier (``None`` = the document node)."""
+    for step in steps:
+        frontier = _eval_step(index, step, frontier, stats)
+        if frontier.size == 0:
+            return _EMPTY
+    return frontier if frontier is not None else _EMPTY
+
+
+def _eval_step(
+    index: TreeIndex,
+    step: Step,
+    frontier: Optional[np.ndarray],
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    cand = _candidates(index, step.axis, step.test)
+    if stats is not None:
+        stats.visited += int(cand.size)
+        stats.jumps += 1
+    if cand.size == 0:
+        return _EMPTY
+    if frontier is None:
+        # The implicit document node: its only child is the root, its
+        # descendants are every node; it has no siblings or attributes.
+        if step.axis is Axis.CHILD:
+            out = cand[:1] if cand.size and cand[0] == 0 else _EMPTY
+        elif step.axis is Axis.DESCENDANT:
+            out = cand
+        else:
+            out = _EMPTY
+    elif step.axis in (Axis.CHILD, Axis.ATTRIBUTE):
+        parents = index.parent_array()[cand]
+        out = cand[_in_sorted(parents, frontier, stats)]
+    elif step.axis is Axis.DESCENDANT:
+        out = cand[_descendant_mask(index, cand, frontier, stats)]
+    elif step.axis is Axis.FOLLOWING_SIBLING:
+        out = cand[_following_sibling_mask(index, cand, frontier, stats)]
+    else:  # pragma: no cover - supports() excludes backward axes
+        raise AssertionError(step.axis)
+    if step.predicate is not None and out.size:
+        out = out[_pred_mask(index, step.predicate, out, stats)]
+    return out
+
+
+def test_label_names(labels: List[str], axis: Axis, test: str) -> List[str]:
+    """The element names a node test can match, resolved against one
+    document's label inventory (the single place these semantics live --
+    the planner prices steps through the same resolution)."""
+    if axis is Axis.ATTRIBUTE:
+        if test in ("*", "node()"):
+            return [l for l in labels if l.startswith("@")]
+        return ["@" + test]
+    if test == "node()":
+        return list(labels)
+    if test == "*":
+        return [l for l in labels if not l.startswith(("@", "#"))]
+    if test == "text()":
+        return ["#text"]
+    return [test]
+
+
+def _candidates(index: TreeIndex, axis: Axis, test: str) -> np.ndarray:
+    """Sorted ids of every node the step's node test can match.
+
+    Named tests hit the per-label array directly (no lock, no LRU slot
+    -- trivial single-label wrappers would otherwise compete with the
+    genuinely expensive merged unions for the bounded fused cache);
+    wildcard / multi-label tests go through the cached merged union.
+    """
+    names = test_label_names(index.tree.labels, axis, test)
+    label_ids = index.label_ids(names)
+    if not label_ids:
+        return _EMPTY
+    if len(label_ids) == 1:
+        return index.labels.nodes_array(index.tree.labels[label_ids[0]])
+    return index.fused(label_ids).arr
+
+
+# -- vectorized axis primitives ---------------------------------------------
+
+
+def _in_sorted(
+    values: np.ndarray,
+    sorted_arr: np.ndarray,
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Membership mask of ``values`` in a sorted duplicate-free array."""
+    if stats is not None:
+        stats.jumps += 1
+        stats.index_probes += int(values.size)
+    if sorted_arr.size == 0:
+        return np.zeros(values.size, dtype=bool)
+    pos = np.searchsorted(sorted_arr, values)
+    clipped = np.minimum(pos, sorted_arr.size - 1)
+    return (pos < sorted_arr.size) & (sorted_arr[clipped] == values)
+
+
+def _staircase(
+    index: TreeIndex, frontier: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Prune the frontier to top-most nodes: disjoint subtree ranges.
+
+    Nested context subtrees are redundant for the descendant axis; the
+    running maximum of ``xml_end`` drops them in one pass (subtree
+    ranges either nest or are disjoint, so the survivors are pairwise
+    disjoint and every candidate lies in at most one of them).
+    """
+    ends = index.xml_end_array()[frontier]
+    if frontier.size <= 1:
+        return frontier, ends
+    keep = np.empty(frontier.size, dtype=bool)
+    keep[0] = True
+    np.greater_equal(
+        frontier[1:], np.maximum.accumulate(ends)[:-1], out=keep[1:]
+    )
+    return frontier[keep], ends[keep]
+
+
+def _descendant_mask(
+    index: TreeIndex,
+    cand: np.ndarray,
+    frontier: np.ndarray,
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Which candidates are strict XML descendants of a frontier node."""
+    ctx, ctx_end = _staircase(index, frontier)
+    if stats is not None:
+        stats.jumps += 1
+        stats.index_probes += int(cand.size)
+    j = np.searchsorted(ctx, cand, side="right") - 1
+    clipped = np.maximum(j, 0)
+    return (j >= 0) & (cand > ctx[clipped]) & (cand < ctx_end[clipped])
+
+
+def _following_sibling_mask(
+    index: TreeIndex,
+    cand: np.ndarray,
+    frontier: np.ndarray,
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Which candidates follow a frontier node among its siblings.
+
+    ``c`` qualifies iff some frontier node shares ``parent[c]`` and
+    precedes ``c`` -- i.e. ``c`` exceeds the *minimum* frontier id under
+    its parent.  The frontier is ascending, so ``np.unique``'s
+    first-occurrence indexes are exactly those minima.
+    """
+    parent = index.parent_array()
+    fp = parent[frontier]
+    uniq, first = np.unique(fp, return_index=True)
+    mins = frontier[first]
+    pc = parent[cand]
+    if stats is not None:
+        stats.jumps += 1
+        stats.index_probes += int(cand.size)
+    pos = np.searchsorted(uniq, pc)
+    clipped = np.minimum(pos, uniq.size - 1)
+    found = (pos < uniq.size) & (uniq[clipped] == pc)
+    return found & (cand > mins[clipped])
+
+
+# -- predicates as masks -----------------------------------------------------
+
+
+def _pred_mask(
+    index: TreeIndex,
+    pred: Pred,
+    nodes: np.ndarray,
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Boolean mask over ``nodes``: which satisfy the predicate."""
+    if isinstance(pred, PredAnd):
+        left = _pred_mask(index, pred.left, nodes, stats)
+        return left & _pred_mask(index, pred.right, nodes, stats)
+    if isinstance(pred, PredOr):
+        left = _pred_mask(index, pred.left, nodes, stats)
+        return left | _pred_mask(index, pred.right, nodes, stats)
+    if isinstance(pred, PredNot):
+        return ~_pred_mask(index, pred.inner, nodes, stats)
+    if isinstance(pred, PredPath):
+        path = pred.path
+        if path.absolute:
+            result = _eval_steps(index, path.steps, None, stats)
+            return np.full(nodes.size, bool(result.size), dtype=bool)
+        if not path.steps:
+            return np.ones(nodes.size, dtype=bool)  # '.' always exists
+        matches = _match_set(index, path.steps, stats)
+        return _has_successor_mask(
+            index, path.steps[0].axis, nodes, matches, stats
+        )
+    raise AssertionError(pred)
+
+
+def _match_set(
+    index: TreeIndex, steps: tuple, stats: Optional[EvalStats]
+) -> np.ndarray:
+    """Nodes matching ``steps[0]`` from which ``steps[1:]`` matches.
+
+    Built back to front: ``M_k`` is the last step's test+predicate set,
+    and ``M_i`` keeps the nodes of step ``i``'s set with a step-``i+1``
+    successor in ``M_{i+1}``.  Existence of the whole relative path from
+    a context node is then one successor probe against ``M_1``.
+    """
+    matches: Optional[np.ndarray] = None
+    for i in range(len(steps) - 1, -1, -1):
+        step = steps[i]
+        cand = _candidates(index, step.axis, step.test)
+        if stats is not None:
+            stats.visited += int(cand.size)
+            stats.jumps += 1
+        if step.predicate is not None and cand.size:
+            cand = cand[_pred_mask(index, step.predicate, cand, stats)]
+        if matches is not None and cand.size:
+            cand = cand[
+                _has_successor_mask(
+                    index, steps[i + 1].axis, cand, matches, stats
+                )
+            ]
+        matches = cand
+        if matches.size == 0:
+            return _EMPTY
+    return matches
+
+
+def _has_successor_mask(
+    index: TreeIndex,
+    axis: Axis,
+    nodes: np.ndarray,
+    targets: np.ndarray,
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Which of ``nodes`` have an ``axis``-successor inside ``targets``."""
+    if targets.size == 0:
+        return np.zeros(nodes.size, dtype=bool)
+    parent = index.parent_array()
+    if axis in (Axis.CHILD, Axis.ATTRIBUTE):
+        parents = parent[targets]
+        parents = np.unique(parents[parents >= 0])
+        return _in_sorted(nodes, parents, stats)
+    if axis is Axis.DESCENDANT:
+        if stats is not None:
+            stats.jumps += 1
+            stats.index_probes += int(nodes.size)
+        lo = np.searchsorted(targets, nodes, side="right")
+        hi = np.searchsorted(
+            targets, index.xml_end_array()[nodes], side="left"
+        )
+        return hi > lo
+    if axis is Axis.FOLLOWING_SIBLING:
+        # Per-parent *maximum* of the target set: reverse the ascending
+        # array so unique's first occurrences are the maxima.
+        tp = parent[targets][::-1]
+        uniq, first = np.unique(tp, return_index=True)
+        maxs = targets[::-1][first]
+        if stats is not None:
+            stats.jumps += 1
+            stats.index_probes += int(nodes.size)
+        pn = parent[nodes]
+        pos = np.searchsorted(uniq, pn)
+        clipped = np.minimum(pos, uniq.size - 1)
+        found = (pos < uniq.size) & (uniq[clipped] == pn)
+        return found & (maxs[clipped] > nodes)
+    raise AssertionError(axis)  # pragma: no cover - forward fragment only
+
+
+@register_strategy
+class VectorizedStrategy(StrategyBase):
+    """Set-at-a-time frontier evaluation over numpy node-id arrays."""
+
+    name = "vectorized"
+    fallback = "optimized"  # relative / backward queries keep working
+    needs_asta = False
+    parallel_safe = True
+
+    def supports(self, path: Path) -> bool:
+        return is_vectorizable(path)
+
+    def execute(self, plan, index, stats):
+        return evaluate(plan.path, index, stats)

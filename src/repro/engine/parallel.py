@@ -249,6 +249,15 @@ def plan_shard_query(query: Query) -> ShardQueryPlan:
     )
 
 
+def _describe_prepared(plan) -> dict:
+    """One prepared plan's resolution (plus its planner verdict, if any)."""
+    from repro.engine.planner import planner_fields
+
+    out = {"query": str(plan.path), "strategy": plan.strategy.name}
+    out.update(planner_fields(plan))
+    return out
+
+
 def _sorted_union(parts: List[Sequence[int]]) -> List[int]:
     """Union of sorted duplicate-free id sequences, still sorted."""
     if not parts:
@@ -590,6 +599,46 @@ class QueryService:
     @staticmethod
     def _qkey(query: Query) -> str:
         return query if isinstance(query, str) else str(query)
+
+    def plan_report(self, query: Query, document: str) -> dict:
+        """How ``query`` runs on ``document`` under sharding *and* planning.
+
+        Combines the shard rewrite decision with what each shard
+        engine's strategy resolution (the ``auto`` planner, when the
+        workspace uses it) picked for every rewritten path.  Because a
+        shard carries its own sliced label index, per-shard planners see
+        per-shard selectivities -- the same query may execute vectorized
+        on a dense shard and node-at-a-time on a sparse one.
+        """
+        plan = self._plan(query)
+        report: dict = {
+            "query": plan.query,
+            "strategy": self.workspace.strategy,
+            "shardable": plan.shardable,
+        }
+        if not plan.shardable:
+            report["reason"] = plan.reason
+            engine = self.workspace.engine(document)
+            report["whole_document"] = _describe_prepared(
+                engine.prepare(plan.path)
+            )
+            return report
+        shard_paths = plan.shard_paths(root_gate=True)
+        shards = []
+        for shard in self.doc_shards(document):
+            engine = self._shard_engine(document, shard)
+            shards.append(
+                {
+                    "ordinal": shard.ordinal,
+                    "nodes": len(shard),
+                    "paths": [
+                        _describe_prepared(engine.prepare(p))
+                        for p in shard_paths
+                    ],
+                }
+            )
+        report["shards"] = shards
+        return report
 
     def _run_batch(
         self, doc_names: Sequence[str], queries: Sequence[Query]

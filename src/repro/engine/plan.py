@@ -64,6 +64,16 @@ class CompiledQueryCache:
     def __len__(self) -> int:
         return len(self._astas)
 
+    def cache_info(self) -> dict:
+        """Compiled-cache statistics (the one shared stats literal that
+        :meth:`Engine.cache_info` and :meth:`Workspace.cache_info`
+        both surface)."""
+        return {
+            "size": len(self._astas),
+            "compilations": self.compilations,
+            "hits": self.hits,
+        }
+
     @staticmethod
     def _key(
         query: Union[str, Path], wildcard_labels: Optional[List[str]]
@@ -166,7 +176,10 @@ class PreparedQuery:
     ``artifacts``
         Per-plan scratch space for strategy-specific precomputation
         (the mixed strategy caches its forward-prefix automaton here,
-        the deterministic strategy its minimal TDSTA).
+        the deterministic strategy its minimal TDSTA, and the ``auto``
+        planner its :class:`~repro.engine.planner.PlannerState` --
+        choice, cost estimates, and the execution-feedback record --
+        under the ``"planner"`` key).
     """
 
     __slots__ = (
@@ -177,6 +190,7 @@ class PreparedQuery:
         "artifacts",
         "_asta",
         "_exec_lock",
+        "_execute_impl",
     )
 
     def __init__(
@@ -193,6 +207,11 @@ class PreparedQuery:
         self.artifacts: Dict[str, object] = {}
         self._asta: Optional[ASTA] = None
         self._exec_lock = threading.Lock()
+        # The bound evaluation entry point.  Normally the resolved
+        # strategy's own ``execute``; the ``auto`` planner rebinds it to
+        # its converged delegate's ``execute`` once a plan freezes, so a
+        # converged plan pays zero planner overhead per execution.
+        self._execute_impl = strategy.execute
         # Duck-typed plugins may omit the optional protocol members.
         if getattr(strategy, "needs_asta", False):
             self._asta = engine.compile(query, parsed=path)
@@ -223,7 +242,7 @@ class PreparedQuery:
         """
         stats = EvalStats()
         with self._exec_lock:
-            accepted, ids = self.strategy.execute(
+            accepted, ids = self._execute_impl(
                 self, self.engine.index, stats
             )
         return ExecutionResult(accepted, tuple(ids), stats)
@@ -238,6 +257,9 @@ class PreparedQuery:
         from repro.engine.mixed import forward_prefix_length
 
         lines = [f"strategy: {self.strategy.name}"]
+        planner_state = self.artifacts.get("planner")
+        if planner_state is not None and hasattr(planner_state, "choice"):
+            lines.append(planner_state.choice.describe())
         path = self.path
         if path.has_backward_axes():
             k = forward_prefix_length(path)

@@ -1,0 +1,592 @@
+"""Cost-based adaptive planning: the ``auto`` strategy.
+
+The PR 1 registry made strategies pluggable but left *choosing* one to
+the user.  This module closes the loop: ``auto`` extracts features from
+a ``(query, document)`` pair -- axes used, predicate shape, wildcard and
+encoding flags, and per-label selectivities read for free from the
+:class:`~repro.index.labels.LabelIndex` array lengths (or from the
+document stats a :mod:`repro.store` bundle persisted at build time) --
+prices each candidate strategy with a simple touch-count cost model,
+and binds the cheapest one to the prepared plan.
+
+The model is deliberately coarse; what keeps it honest is the *feedback
+loop*: every execution's actual counters are folded back into the plan's
+:class:`PlannerState`.  When the observed cost strays from the estimate
+by more than :data:`REPLAN_FACTOR` (env ``REPRO_PLANNER_REPLAN_FACTOR``),
+the plan is re-priced with observations overriding estimates, so a
+mis-planned query converges onto the strategy that is actually cheapest
+for *this* document -- the classic adaptive re-optimization loop, at
+plan-cache granularity.  Candidates the model cannot separate (within
+:data:`TRIAL_FACTOR` of each other) are resolved empirically instead: a
+repeatedly-executed plan runs each near-tie a couple of times
+(*wall-clock trials*) and commits to the measured winner.  Once a plan
+has converged it *freezes* -- dispatch is handed straight to the winning
+strategy, so a steady-state execution pays zero planner overhead.
+
+Cost units are "weighted element touches": one numpy array element
+costs 1, one interpreted per-node automaton step costs
+:data:`NODE_WEIGHT`, and every vectorized pass pays a fixed
+:data:`VEC_CALL` dispatch overhead (what makes node-at-a-time win on
+tiny documents).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine import registry
+from repro.engine.registry import StrategyBase, register_strategy
+from repro.index.jumping import TreeIndex
+from repro.xpath.ast import (
+    Axis,
+    Path,
+    Pred,
+    PredAnd,
+    PredNot,
+    PredOr,
+    PredPath,
+)
+
+#: Strategies the planner prices against each other.  All accept the
+#: whole forward fragment through their fallback chains, so the chosen
+#: name is always executable.
+CANDIDATES: Tuple[str, ...] = ("vectorized", "optimized", "hybrid")
+
+#: Interpreted per-node work, in units of one numpy array-element touch.
+NODE_WEIGHT = 24.0
+
+#: Fixed dispatch cost of one vectorized pass (ufunc setup, allocation).
+VEC_CALL = 220.0
+
+#: Re-plan when |observed / estimated| leaves [1/f, f].
+REPLAN_FACTOR = float(os.environ.get("REPRO_PLANNER_REPLAN_FACTOR", "4.0"))
+
+#: Freeze a plan (stop feedback bookkeeping) after this many consecutive
+#: executions without a strategy switch -- keeps the planner's per-call
+#: overhead off the hot path of converged micro-queries.
+CONVERGED_RUNS = 3
+
+#: Candidates whose estimate is within this factor of the cheapest one
+#: are *near-ties*: the model cannot be trusted to separate them, so a
+#: repeatedly-executed plan measures each (wall clock) before committing.
+TRIAL_FACTOR = 64.0
+
+#: Executions per trialed candidate (the first warms its caches; the
+#: minimum is what competes).
+TRIAL_RUNS = 2
+
+#: Never trial a candidate whose estimated cost exceeds this many touch
+#: units -- probing a catastrophically-priced strategy is not worth it.
+TRIAL_COST_CAP = 2e6
+
+
+# -- feature extraction ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueryFeatures:
+    """Everything the cost model reads, extracted in one pass.
+
+    ``step_candidates`` holds the candidate-array length per location
+    step (the per-label id-array sizes, summed for wildcard tests);
+    ``pred_candidates`` the total candidate elements its predicate
+    subtree touches.  Both come from O(1) ``LabelIndex`` lookups.
+    """
+
+    n: int
+    height: int
+    steps: int
+    axes: Tuple[str, ...]
+    wildcard_steps: int
+    pred_depth: int
+    pred_paths: int
+    encoded: bool
+    step_candidates: Tuple[int, ...]
+    pred_candidates: Tuple[int, ...]
+    descendant_steps: int
+    min_candidates: int
+
+    @property
+    def total_candidates(self) -> int:
+        return sum(self.step_candidates)
+
+    @property
+    def total_pred_candidates(self) -> int:
+        return sum(self.pred_candidates)
+
+
+def _element_count(index: TreeIndex) -> int:
+    """Number of element nodes (the ``*`` test's candidate count)."""
+    cached = getattr(index, "_planner_elem_count", None)
+    if cached is None:
+        tree = index.tree
+        encoded = sum(
+            len(index.labels.nodes_array(name))
+            for name in tree.labels
+            if name.startswith(("@", "#"))
+        )
+        cached = tree.n - int(encoded)
+        index._planner_elem_count = cached
+    return cached
+
+
+def doc_height(index: TreeIndex) -> int:
+    """The document height, from persisted store stats when available.
+
+    A :mod:`repro.store` bundle records ``stats.height`` in its header
+    at build time; a freshly parsed document pays one O(n) sweep, cached
+    on the index.
+    """
+    stats = getattr(index, "doc_stats", None)
+    if isinstance(stats, dict) and isinstance(stats.get("height"), int):
+        return stats["height"]
+    cached = getattr(index, "_planner_height", None)
+    if cached is None:
+        cached = index.tree.height()
+        index._planner_height = cached
+    return cached
+
+
+def _test_candidates(index: TreeIndex, axis: Axis, test: str) -> int:
+    """Candidate-array length of one step, priced through the *same*
+    node-test resolution the vectorized evaluator executes
+    (:func:`repro.engine.frontier.test_label_names`)."""
+    from repro.engine.frontier import test_label_names
+
+    tree = index.tree
+    if test == "node()" and axis is not Axis.ATTRIBUTE:
+        return tree.n
+    if test == "*" and axis is not Axis.ATTRIBUTE:
+        return _element_count(index)
+    return sum(
+        index.labels.count(name)
+        for name in test_label_names(tree.labels, axis, test)
+    )
+
+
+def _pred_shape(
+    index: TreeIndex, pred: Pred, depth: int
+) -> Tuple[int, int, int]:
+    """(candidate elements, max nesting depth, path count) of a predicate."""
+    if isinstance(pred, (PredAnd, PredOr)):
+        lc, ld, lp = _pred_shape(index, pred.left, depth)
+        rc, rd, rp = _pred_shape(index, pred.right, depth)
+        return lc + rc, max(ld, rd), lp + rp
+    if isinstance(pred, PredNot):
+        return _pred_shape(index, pred.inner, depth)
+    if isinstance(pred, PredPath):
+        touched = 0
+        nested_depth = depth
+        nested_paths = 1
+        for step in pred.path.steps:
+            touched += _test_candidates(index, step.axis, step.test)
+            if step.predicate is not None:
+                c, d, p = _pred_shape(index, step.predicate, depth + 1)
+                touched += c
+                nested_depth = max(nested_depth, d)
+                nested_paths += p
+        return touched, nested_depth, nested_paths
+    raise AssertionError(pred)
+
+
+def extract_features(path: Path, index: TreeIndex) -> QueryFeatures:
+    """One-pass feature extraction for the cost model (O(query size))."""
+    step_candidates: List[int] = []
+    pred_candidates: List[int] = []
+    axes: List[str] = []
+    wildcards = 0
+    pred_depth = 0
+    pred_paths = 0
+    descendants = 0
+    for step in path.steps:
+        axes.append(step.axis.value)
+        if step.test_matches_any():
+            wildcards += 1
+        if step.axis is Axis.DESCENDANT:
+            descendants += 1
+        step_candidates.append(_test_candidates(index, step.axis, step.test))
+        if step.predicate is not None:
+            c, d, p = _pred_shape(index, step.predicate, 1)
+            pred_candidates.append(c)
+            pred_depth = max(pred_depth, d)
+            pred_paths += p
+        else:
+            pred_candidates.append(0)
+    tree = index.tree
+    return QueryFeatures(
+        n=tree.n,
+        height=doc_height(index),
+        steps=len(path.steps),
+        axes=tuple(axes),
+        wildcard_steps=wildcards,
+        pred_depth=pred_depth,
+        pred_paths=pred_paths,
+        encoded=any(l.startswith(("@", "#")) for l in tree.labels),
+        step_candidates=tuple(step_candidates),
+        pred_candidates=tuple(pred_candidates),
+        descendant_steps=descendants,
+        min_candidates=(
+            min(step_candidates) if step_candidates else 0
+        ),
+    )
+
+
+# -- cost model --------------------------------------------------------------
+
+
+def estimate_costs(path: Path, features: QueryFeatures) -> Dict[str, float]:
+    """Estimated cost (weighted element touches) per candidate strategy.
+
+    Monotone in the obvious knobs: more candidate elements, more steps,
+    or more predicate work never *lowers* a strategy's estimate.
+    """
+    from repro.engine.frontier import is_vectorizable
+
+    touches = features.total_candidates + features.total_pred_candidates
+    ops = features.steps + features.pred_paths
+    costs: Dict[str, float] = {}
+    # Vectorized: every touch costs 1, plus a fixed per-pass dispatch.
+    # Priced only inside its native fragment -- estimating a strategy
+    # that would resolve away through its fallback chain would leave
+    # the choice and the executing strategy out of sync (the feedback
+    # loop keys observations by the *active* strategy's name).
+    if is_vectorizable(path):
+        costs["vectorized"] = VEC_CALL * (3 * ops) + float(touches)
+    # Node-at-a-time automaton run: jumping restricts the run to roughly
+    # the same relevant elements, but each costs an interpreted step.
+    # Existence predicates short-circuit on the first witness, bounded
+    # here by one frontier's worth of probes per predicate path.
+    pred_opt = min(
+        features.total_pred_candidates,
+        (features.min_candidates + features.height)
+        * max(1, features.pred_paths),
+    )
+    costs["optimized"] = NODE_WEIGHT * (
+        features.total_candidates + pred_opt
+    ) + NODE_WEIGHT * features.steps
+    # Hybrid start-anywhere: only priced inside its fragment -- pivot
+    # nodes climb O(height) ancestors (a vectorized pass per level),
+    # then the suffix is collected with vectorized range slices.
+    from repro.engine.hybrid import is_hybrid_applicable
+
+    if is_hybrid_applicable(path):
+        pivot = features.min_candidates
+        costs["hybrid"] = (
+            VEC_CALL * (features.height + features.steps)
+            + float(pivot) * features.height
+            + float(features.total_candidates - pivot)
+            + features.total_pred_candidates
+        )
+    return costs
+
+
+def _actual_cost(stats) -> float:
+    """Observed cost of one execution, in the model's touch units.
+
+    The counters mean different things per strategy -- array-element
+    touches for the vectorized and hybrid evaluators (hybrid's suffix
+    collection and prefix check are numpy passes too), interpreted
+    per-node steps for the automaton engines -- so
+    :meth:`PlannerState.observe` re-weights them via
+    :data:`_OBSERVE_WEIGHT` before they are comparable.
+    """
+    return float(stats.visited + stats.index_probes + stats.jumps)
+
+
+#: Weight of one counter unit per strategy, mapping observations into
+#: the cost model's touch units (default: an interpreted per-node step).
+_OBSERVE_WEIGHT = {"vectorized": 1.0, "hybrid": 1.0}
+
+
+@dataclass
+class PlanChoice:
+    """The planner's verdict for one ``(query, document)`` pair."""
+
+    strategy: str
+    estimate: float
+    costs: Dict[str, float]
+    features: QueryFeatures
+
+    def describe(self) -> str:
+        lines = [
+            f"planner: chose {self.strategy!r} "
+            f"(estimated cost {self.estimate:,.0f} touches)",
+            "  candidate costs:",
+        ]
+        for name, cost in sorted(self.costs.items(), key=lambda kv: kv[1]):
+            marker = "*" if name == self.strategy else " "
+            lines.append(f"  {marker} {name:11s} {cost:>14,.0f}")
+        f = self.features
+        lines.append(
+            f"  features: n={f.n} height={f.height} steps={f.steps} "
+            f"axes={'/'.join(f.axes)} wildcards={f.wildcard_steps} "
+            f"pred_depth={f.pred_depth} "
+            f"candidates={list(f.step_candidates)} "
+            f"pred_candidates={list(f.pred_candidates)}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class PlannerState:
+    """Per-plan adaptive state: the choice plus the feedback record."""
+
+    choice: PlanChoice
+    replan_factor: float = REPLAN_FACTOR
+    runs: int = 0
+    replans: int = 0
+    observed: Dict[str, float] = field(default_factory=dict)
+    active: object = None  # the bound Strategy instance
+    frozen: bool = False
+    wall: Dict[str, float] = field(default_factory=dict)
+    pending_trials: List[str] = field(default_factory=list)
+    explored: bool = True
+    _stable_runs: int = 0
+
+    @classmethod
+    def plan(
+        cls,
+        path: Path,
+        index: TreeIndex,
+        replan_factor: float = REPLAN_FACTOR,
+    ) -> "PlannerState":
+        features = extract_features(path, index)
+        costs = estimate_costs(path, features)
+        name = min(costs, key=costs.get)
+        state = cls(
+            choice=PlanChoice(name, costs[name], costs, features),
+            replan_factor=replan_factor,
+        )
+        # Schedule wall-clock trials for near-tie candidates: the model
+        # separates strategies that differ by orders of magnitude, but a
+        # few-x gap is within its error bars -- measure those instead.
+        ties = [
+            n
+            for n in sorted(costs, key=costs.get)
+            if costs[n] <= costs[name] * TRIAL_FACTOR
+            and costs[n] <= TRIAL_COST_CAP
+        ]
+        if len(ties) > 1:
+            state.pending_trials = [n for n in ties for _ in range(TRIAL_RUNS)]
+            state.explored = False
+        return state
+
+    def record_wall(self, strategy_name: str, elapsed: float) -> None:
+        prev = self.wall.get(strategy_name)
+        if prev is None or elapsed < prev:
+            self.wall[strategy_name] = elapsed
+
+    def decide_from_trials(self) -> str:
+        """Commit to the wall-clock winner once every trial has run.
+
+        The winner's counter-observations replace its estimate in the
+        cost table so the counter-feedback backstop starts in band
+        (otherwise a deliberately-coarse estimate could immediately
+        un-do the measured decision).
+        """
+        self.explored = True
+        winner = min(self.wall, key=self.wall.get)
+        costs = dict(self.choice.costs)
+        costs.update(self.observed)
+        self.choice = PlanChoice(
+            winner, costs.get(winner, 1.0), costs, self.choice.features
+        )
+        return winner
+
+    def observe(
+        self, strategy_name: str, stats, adapt: bool = True
+    ) -> Optional[str]:
+        """Fold one execution's counters back in; maybe re-choose.
+
+        Returns the *new* strategy name when the observation pushed the
+        plan to a different choice, else ``None``.  Observed costs are
+        re-weighted into model units (:data:`_OBSERVE_WEIGHT`) and
+        replace the estimates of strategies that have actually run.
+        ``adapt=False`` records the observation without the re-choice
+        side effects (the wall-clock trial phase books its runs this
+        way -- trials decide by measurement, and a transient re-choice
+        would show up as a spurious ``replans`` in ``plan explain``).
+        """
+        self.runs += 1
+        weight = _OBSERVE_WEIGHT.get(strategy_name, NODE_WEIGHT)
+        actual = _actual_cost(stats) * weight
+        seen = self.observed.get(strategy_name)
+        self.observed[strategy_name] = (
+            actual if seen is None else min(seen, actual)
+        )
+        if not adapt:
+            return None
+        estimate = self.choice.costs.get(strategy_name)
+        if estimate is None or strategy_name != self.choice.strategy:
+            return None
+        factor = self.replan_factor
+        in_band = estimate / factor <= max(actual, 1.0) <= estimate * factor
+        if in_band:
+            self._stable_runs += 1
+            if self._stable_runs >= CONVERGED_RUNS:
+                self.frozen = True
+            return None
+        self._stable_runs = 0
+        # Re-price with observations overriding estimates.
+        costs = dict(self.choice.costs)
+        costs.update(self.observed)
+        name = min(costs, key=costs.get)
+        self.choice = PlanChoice(
+            name, costs[name], costs, self.choice.features
+        )
+        if name != strategy_name:
+            self.replans += 1
+            return name
+        return None
+
+    def snapshot(self) -> dict:
+        """JSON-friendly view (surfaced by ``repro plan explain``)."""
+        return {
+            "strategy": self.choice.strategy,
+            "estimate": round(self.choice.estimate, 1),
+            "costs": {
+                k: round(v, 1) for k, v in self.choice.costs.items()
+            },
+            "runs": self.runs,
+            "replans": self.replans,
+            "frozen": self.frozen,
+            "explored": self.explored,
+            "trials_pending": len(self.pending_trials),
+            "observed": {
+                k: round(v, 1) for k, v in self.observed.items()
+            },
+            "wall_ms": {
+                k: round(v * 1000, 4) for k, v in self.wall.items()
+            },
+        }
+
+
+# -- the strategy ------------------------------------------------------------
+
+
+@register_strategy
+class AutoStrategy(StrategyBase):
+    """Cost-based planner: picks the cheapest strategy per query+document."""
+
+    name = "auto"
+    fallback = "mixed"  # backward axes: planning is moot, route directly
+    needs_asta = False
+    parallel_safe = True
+    replan_factor = REPLAN_FACTOR
+
+    def supports(self, path: Path) -> bool:
+        return not path.has_backward_axes()
+
+    def prepare(self, plan) -> None:
+        state = PlannerState.plan(
+            plan.path, plan.engine.index, replan_factor=self.replan_factor
+        )
+        plan.artifacts["planner"] = state
+        self._bind(plan, state, state.choice.strategy)
+
+    def _bind(self, plan, state: PlannerState, name: str) -> None:
+        """Resolve and warm the chosen strategy on the plan.
+
+        ``resolve`` (not ``get_strategy``): a choice outside the target's
+        native fragment walks its declared fallback chain, exactly as an
+        explicit ``--strategy`` request would.
+        """
+        strategy = registry.resolve(name, plan.path)
+        state.active = strategy
+        if getattr(strategy, "needs_asta", False):
+            plan.asta  # compile now so execute() stays compilation-free
+        hook = getattr(strategy, "prepare", None)
+        if hook is not None:
+            hook(plan)
+
+    def _state(self, plan) -> PlannerState:
+        state = plan.artifacts.get("planner")
+        if not isinstance(state, PlannerState):
+            # A plan constructed without the prepare hook (duck-typed
+            # callers): plan on first execution.
+            self.prepare(plan)
+            state = plan.artifacts["planner"]
+        return state
+
+    def execute(self, plan, index, stats):
+        state = self._state(plan)
+        if state.pending_trials:
+            # Exploration: bind the next trial slot *before* running,
+            # so each near-tie candidate executes exactly TRIAL_RUNS
+            # times (the queue's first slots belong to the model's own
+            # pick -- its first run doubles as the cache warm-up).
+            nxt = state.pending_trials.pop(0)
+            if nxt != state.active.name:
+                self._bind(plan, state, nxt)
+        t0 = time.perf_counter()
+        result = state.active.execute(plan, index, stats)
+        elapsed = time.perf_counter() - t0
+        name = state.active.name
+        state.record_wall(name, elapsed)
+        if state.pending_trials:
+            state.observe(name, stats, adapt=False)
+            return result
+        if not state.explored:
+            state.observe(name, stats, adapt=False)
+            planned = state.choice.strategy  # the model's pre-trial pick
+            winner = state.decide_from_trials()
+            if winner != planned:
+                # Count only decisions that overturned the model -- the
+                # rotation back from the last trialed strategy is not a
+                # re-plan.
+                state.replans += 1
+            if winner != name:
+                self._bind(plan, state, winner)
+            return result
+        switched = state.observe(name, stats)
+        if switched is not None:
+            self._bind(plan, state, switched)
+        elif state.frozen:
+            # Converged: hand the plan's dispatch straight to the
+            # delegate so later executions skip this wrapper entirely
+            # (safe: the caller holds the plan's execute lock, and a
+            # frozen state takes no further observations anyway).
+            plan._execute_impl = state.active.execute
+        return result
+
+
+def planner_fields(plan) -> dict:
+    """The planner-specific fields of one prepared plan's description:
+    ``{"planner": snapshot, "executes_as": name}`` when a planner state
+    is attached, else ``{}``.  The single schema shared by
+    ``repro plan explain`` and ``QueryService.plan_report``."""
+    state = plan.artifacts.get("planner")
+    if state is not None and hasattr(state, "snapshot"):
+        return {
+            "planner": state.snapshot(),
+            "executes_as": getattr(state.active, "name", None),
+        }
+    return {}
+
+
+def plan_explain(engine, query) -> dict:
+    """The planner's verdict for ``query`` on ``engine``'s document.
+
+    Prepares (or reuses) the plan under ``auto`` and returns its
+    :meth:`PlannerState.snapshot` plus the resolved execution strategy
+    -- what ``repro plan explain`` prints.
+    """
+    plan = engine.prepare(query, strategy="auto")
+    qkey = query if isinstance(query, str) else str(query)
+    out = {
+        "query": qkey,
+        "strategy": plan.strategy.name,
+        "nodes": engine.tree.n,
+    }
+    fields = planner_fields(plan)
+    if fields:
+        out.update(fields)
+    else:
+        out["reason"] = (
+            "outside the planned fragment (resolved through the "
+            "fallback chain)"
+        )
+    return out

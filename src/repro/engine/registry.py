@@ -5,9 +5,10 @@ capability (:meth:`Strategy.supports`), an optional ``fallback`` strategy
 name, and an :meth:`Strategy.execute` method that runs a prepared
 :class:`~repro.engine.plan.QueryPlan` against a
 :class:`~repro.index.jumping.TreeIndex`.  Strategies self-register with
-the :func:`register_strategy` decorator; the seven built-in strategies
+the :func:`register_strategy` decorator; the nine built-in strategies
 (``naive``, ``jumping``, ``memo``, ``optimized``, ``hybrid``,
-``deterministic``, ``mixed``) live in their own modules under
+``deterministic``, ``mixed``, ``vectorized``, and the cost-based
+``auto`` planner) live in their own modules under
 :mod:`repro.engine` and register on import.
 
 Dispatch is uniform: :func:`resolve` walks the fallback chain until it
@@ -193,12 +194,14 @@ def _load_builtins() -> None:
     _builtins_loaded = True
     from repro.engine import (  # noqa: F401  (imported for side effects)
         deterministic,
+        frontier,
         hybrid,
         jumping,
         memo,
         mixed,
         naive,
         optimized,
+        planner,
     )
 
 
@@ -226,8 +229,12 @@ def all_strategies() -> List[Strategy]:
 
 
 def describe_strategies() -> List[Tuple[str, str]]:
-    """(name, one-line summary) pairs for ``--list-strategies``."""
-    return [
+    """(name, one-line summary) pairs for ``--list-strategies``.
+
+    The ``auto`` planner leads the listing (it is the recommended
+    default); the rest follow in name order.
+    """
+    pairs = [
         (
             strategy.name,
             getattr(strategy, "summary", None)
@@ -235,6 +242,8 @@ def describe_strategies() -> List[Tuple[str, str]]:
         )
         for strategy in all_strategies()
     ]
+    pairs.sort(key=lambda pair: (pair[0] != "auto", pair[0]))
+    return pairs
 
 
 def resolve(name: str, path: "Path") -> Strategy:

@@ -41,7 +41,12 @@ class Workspace:
 
     Parameters mirror :class:`~repro.engine.api.Engine`; ``strategy``,
     ``encode_attributes`` and ``encode_text`` become the defaults for
-    every document added later.
+    every document added later.  With ``strategy="auto"`` every member
+    engine -- and every *shard* engine the parallel
+    :class:`~repro.engine.parallel.QueryService` derives from it --
+    runs the cost-based planner independently, so the same query may
+    execute vectorized on one document (or shard) and node-at-a-time on
+    another, tracking each one's label statistics.
     """
 
     def __init__(
@@ -264,6 +269,23 @@ class Workspace:
         return {
             name: len(engine.execute(query).ids)
             for name, engine in self._engines.items()
+        }
+
+    def cache_info(self) -> Dict[str, dict]:
+        """Bounded-cache statistics across the whole workspace.
+
+        ``compiled`` is the one shared compiled-automaton cache;
+        ``documents`` maps each document to its engine's
+        :meth:`~repro.engine.api.Engine.cache_info` (prepared-plan LRU,
+        fused-union LRU).  A long-lived service can poll this to confirm
+        nothing grows without bound.
+        """
+        return {
+            "compiled": self.cache.cache_info(),
+            "documents": {
+                name: engine.cache_info()
+                for name, engine in self._engines.items()
+            },
         }
 
     @staticmethod

@@ -11,17 +11,30 @@ Jump targets are label *sets* (the essential labels of a tda state set),
 and a per-label search pays O(|L| log n) per jump.  :meth:`LabelIndex.fused`
 therefore caches, per distinct label-id set, the *merged* sorted union of
 the per-label arrays, so ``dt``/``ft`` collapse to a single binary search
-over one fused array.  The fused cache is never invalidated: a
+over one fused array.  The fused cache never needs *invalidation*: a
 :class:`LabelIndex` belongs to one immutable tree, so the per-label arrays
-(and hence any union of them) are fixed for its lifetime.
+(and hence any union of them) are fixed for its lifetime.  It is,
+however, LRU-*bounded* (:data:`FUSED_CACHE_SIZE` entries): a long-lived
+service that streams distinct queries past one document would otherwise
+accumulate one merged union per distinct label set forever.  Eviction is
+semantically transparent -- a re-requested union is simply re-merged --
+and :meth:`LabelIndex.cache_info` reports hits/misses/evictions.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from bisect import bisect_left
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
+
+#: Default LRU capacity of the per-index fused-union cache (entries,
+#: counting the as-given-ordering aliases).  Override per index via the
+#: ``fused_cache_size`` attribute or globally via the environment.
+FUSED_CACHE_SIZE = int(os.environ.get("REPRO_FUSED_CACHE_SIZE", "256"))
 
 
 class _LabelledTree(Protocol):
@@ -79,7 +92,32 @@ class LabelIndex:
             for lab in range(len(tree.labels))
         ]
         self._lists: List[List[int]] = [a.tolist() for a in self._arrays]
-        self._fused: Dict[Tuple[int, ...], FusedLabels] = {}
+        self._init_fused_cache()
+
+    fused_cache_size: int = FUSED_CACHE_SIZE
+
+    def _init_fused_cache(self) -> None:
+        self._fused: "OrderedDict[Tuple[int, ...], FusedLabels]" = (
+            OrderedDict()
+        )
+        self._fused_hits = 0
+        self._fused_misses = 0
+        self._fused_evictions = 0
+        # The LRU mutates on every lookup (move_to_end / eviction), and
+        # pool threads of a QueryService drive one shard engine's index
+        # concurrently -- unlike the old append-only dict, this needs a
+        # lock.  Uncontended acquisition costs nanoseconds against the
+        # merge/bisect work per call.
+        self._fused_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_fused_lock"]  # locks are not picklable; workers get a fresh one
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._fused_lock = threading.Lock()
 
     @classmethod
     def sliced(
@@ -112,7 +150,7 @@ class LabelIndex:
             arrays.append(local)
         self._arrays = arrays
         self._lists = [a.tolist() for a in arrays]
-        self._fused = {}
+        self._init_fused_cache()
         return self
 
     @classmethod
@@ -143,7 +181,7 @@ class LabelIndex:
             for lab in range(len(tree.labels))
         ]
         self._lists = [a.tolist() for a in self._arrays]
-        self._fused = {}
+        self._init_fused_cache()
         return self
 
     def state(self) -> tuple[np.ndarray, np.ndarray]:
@@ -185,10 +223,15 @@ class LabelIndex:
         cache without re-sorting.
         """
         key = tuple(label_ids)
-        hit = self._fused.get(key)
-        if hit is None:
+        with self._fused_lock:
+            cache = self._fused
+            hit = cache.get(key)
+            if hit is not None:
+                cache.move_to_end(key)
+                self._fused_hits += 1
+                return hit
             canonical = tuple(sorted(key))
-            hit = self._fused.get(canonical)
+            hit = cache.get(canonical) if canonical != key else None
             if hit is None:
                 if not canonical:
                     merged = np.empty(0, dtype=np.int64)
@@ -196,11 +239,31 @@ class LabelIndex:
                     merged = self._arrays[canonical[0]]
                 else:
                     parts = [self._arrays[lab] for lab in canonical]
-                    merged = np.sort(np.concatenate(parts), kind="mergesort")
-                hit = self._fused[canonical] = FusedLabels(merged)
+                    merged = np.sort(
+                        np.concatenate(parts), kind="mergesort"
+                    )
+                hit = cache[canonical] = FusedLabels(merged)
+                self._fused_misses += 1
+            else:
+                cache.move_to_end(canonical)
+                self._fused_hits += 1
             if key != canonical:
-                self._fused[key] = hit
-        return hit
+                cache[key] = hit
+            while len(cache) > self.fused_cache_size:
+                cache.popitem(last=False)
+                self._fused_evictions += 1
+            return hit
+
+    def cache_info(self) -> dict:
+        """Fused-union cache statistics (LRU-bounded; see module docs)."""
+        with self._fused_lock:
+            return {
+                "size": len(self._fused),
+                "maxsize": self.fused_cache_size,
+                "hits": self._fused_hits,
+                "misses": self._fused_misses,
+                "evictions": self._fused_evictions,
+            }
 
     def first_in_range(self, label_ids: Iterable[int], lo: int, hi: int) -> int:
         """Smallest node id in ``[lo, hi)`` whose label id is in the set.

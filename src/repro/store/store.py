@@ -237,6 +237,10 @@ def save_document(
         "encoded_text": "#text" in tree.labels,
         "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "source": source or {},
+        # Document statistics the cost-based planner reads on reopen --
+        # computed once at build time so a memory-mapped open never pays
+        # an O(n) sweep to price a query (repro.engine.planner).
+        "stats": {"height": tree.height()},
     }
     write_bundle(path, header, arrays)
     return path
@@ -286,6 +290,11 @@ def open_document(path: str, *, mmap: bool = True) -> StoredDocument:
     index._xml_end_arr = xml_end_arr
     index._parent_arr = parent_arr
     index._label_of_arr = label_of_arr
+    # Build-time document statistics (absent from pre-planner bundles;
+    # the planner then falls back to a one-off computed sweep).
+    stats = header.get("stats")
+    if isinstance(stats, dict):
+        index.doc_stats = stats
     if mmap:
         # Advertise the bundle for cheap process-pool payloads (workers
         # reopen the mapped file).  An mmap=False open is for bundles

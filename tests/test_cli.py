@@ -57,7 +57,11 @@ class TestCLI:
         code, out = run(["--list-strategies"])
         assert code == 0
         listed = [line.split()[0] for line in out.strip().splitlines()]
-        assert listed == registry.strategy_names()
+        assert sorted(listed) == registry.strategy_names()
+        # The recommended default leads the listing, with a summary.
+        first = out.strip().splitlines()[0]
+        assert first.split()[0] == "auto"
+        assert len(first.split()) > 1, "auto has no one-line summary"
 
     def test_query_required_without_list_strategies(self, capsys):
         with pytest.raises(SystemExit):
@@ -71,10 +75,41 @@ class TestCLI:
         assert out.strip() == "2 3"
         stats = json.loads(capsys.readouterr().err.strip())
         assert stats["selected"] == 2
-        assert stats["strategy"] == "optimized"
+        assert stats["strategy"] == "auto"  # the planner is the default
         assert stats["query"] == "//b"
         assert stats["visited"] >= 2
         assert stats["nodes"] == 4
+        # The bounded caches are surfaced for service observability.
+        assert stats["caches"]["plans"]["size"] >= 1
+        assert stats["caches"]["plans"]["maxsize"] > 0
+        assert "fused" in stats["caches"]
+
+    def test_explicit_strategy_reported_in_stats(self, xml_file, capsys):
+        code, out = run(["//b", xml_file, "--strategy", "optimized", "--stats"])
+        assert code == 0
+        stats = json.loads(capsys.readouterr().err.strip())
+        assert stats["strategy"] == "optimized"
+
+    def test_plan_explain_json(self, xml_file):
+        code, out = run(["plan", "explain", "//a/b", xml_file, "--json"])
+        assert code == 0
+        verdict = json.loads(out)
+        assert verdict["strategy"] == "auto"
+        assert verdict["planner"]["strategy"] in verdict["planner"]["costs"]
+        assert verdict["executes_as"] in verdict["planner"]["costs"]
+
+    def test_plan_explain_text(self, xml_file):
+        code, out = run(["plan", "explain", "//a/b", xml_file])
+        assert code == 0
+        assert "planner: chose" in out
+        assert "candidate costs" in out
+
+    def test_plan_explain_backward_axis_resolves(self, xml_file):
+        code, out = run(["plan", "explain", "//b/parent::a", xml_file, "--json"])
+        assert code == 0
+        verdict = json.loads(out)
+        assert verdict["strategy"] == "mixed"
+        assert "planner" not in verdict
 
     def test_explain(self, xml_file):
         code, out = run(["//a//b", xml_file, "--explain"])

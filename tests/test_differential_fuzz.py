@@ -29,9 +29,12 @@ from strategies import fuzz_corpus
 
 SEED = 0xC0FFEE
 
-# Three corpora: plain element documents over forward queries, the full
-# axis mix (following-sibling + backward axes), and attribute/text
-# encoded documents.  ~300 (document, query) cases in total.
+# Four corpora: plain element documents over forward queries, the full
+# axis mix (following-sibling + backward axes), attribute/text encoded
+# documents, and a deeper-predicate forward corpus aimed at the
+# set-at-a-time fragment (the vectorized strategy and the auto planner
+# run it like every other registered strategy).  ~350 (document, query)
+# cases in total.
 CORPORA = [
     pytest.param(
         fuzz_corpus(SEED, 8, 16),
@@ -49,6 +52,13 @@ CORPORA = [
         ),
         dict(encode_attributes=True, encode_text=True),
         id="encoded",
+    ),
+    pytest.param(
+        fuzz_corpus(
+            SEED + 3, 4, 14, following=True, pred_depth=3, max_steps=5
+        ),
+        dict(encode_attributes=False, encode_text=False),
+        id="deep-predicates",
     ),
 ]
 
@@ -87,6 +97,31 @@ def test_strategy_matches_oracle_on_fuzz_corpus(corpus, encode, strategy):
             )
             cases += 1
     assert cases >= 48  # every corpus contributes a real batch of cases
+
+
+def test_new_strategies_are_fuzzed():
+    """The vectorized strategy and the auto planner are registered, so
+    the parametrization above drives them against the oracle -- this
+    guards against either silently dropping out of the registry."""
+    names = registry.strategy_names()
+    assert "vectorized" in names
+    assert "auto" in names
+
+
+def test_auto_planner_consistent_across_repeats():
+    """Feedback re-planning must never change *results*: executing the
+    same prepared plan repeatedly (plans may switch strategy mid-stream)
+    stays byte-identical to the oracle."""
+    corpus = fuzz_corpus(SEED + 3, 2, 8, following=True)
+    for xml, queries in corpus:
+        tree = BinaryTree.from_xml(xml)
+        index = TreeIndex(tree)
+        engine = Engine(index, strategy="auto")
+        for query in queries:
+            expected = evaluate_reference(tree, parse_xpath(query))
+            plan = engine.prepare(query)
+            for _ in range(4):
+                assert list(plan.execute().ids) == expected, query
 
 
 def test_corpus_is_reproducible():

@@ -1,0 +1,403 @@
+"""The cost-based adaptive planner (repro.engine.planner) and the
+bounded caches it leans on (plan-cache and fused-cache LRUs)."""
+
+import pytest
+
+from repro.counters import EvalStats
+from repro.engine import planner, registry
+from repro.engine.api import Engine
+from repro.engine.planner import (
+    AutoStrategy,
+    PlannerState,
+    estimate_costs,
+    extract_features,
+    plan_explain,
+)
+from repro.engine.workspace import Workspace
+from repro.index.jumping import TreeIndex
+from repro.tree.binary import BinaryTree
+from repro.tree.parser import parse_xml
+from repro.xpath.parser import parse_xpath
+
+XML = (
+    "<site>"
+    "<a><x/><b/><c><b/><d/></c></a>"
+    "<b><a><b/></a></b>"
+    "<keyword/>"
+    "<listitem><text><keyword><emph/></keyword></text></listitem>"
+    "</site>"
+)
+
+
+@pytest.fixture()
+def index():
+    return TreeIndex(BinaryTree.from_document(parse_xml(XML)))
+
+
+class TestFeatureExtraction:
+    def test_basic_features(self, index):
+        f = extract_features(parse_xpath("//a/b[.//c]"), index)
+        assert f.n == index.tree.n
+        assert f.steps == 2
+        assert f.axes == ("descendant", "child")
+        assert f.descendant_steps == 1
+        assert f.wildcard_steps == 0
+        assert f.pred_depth == 1
+        assert f.pred_paths == 1
+        assert not f.encoded
+        # Candidate sizes come straight from the label-index lengths.
+        assert f.step_candidates == (
+            index.labels.count("a"),
+            index.labels.count("b"),
+        )
+        assert f.pred_candidates == (0, index.labels.count("c"))
+
+    def test_wildcards_and_node_test(self, index):
+        f = extract_features(parse_xpath("//*/node()"), index)
+        assert f.wildcard_steps == 2
+        assert f.step_candidates[1] == index.tree.n
+        assert f.step_candidates[0] == index.tree.n  # element-only doc
+
+    def test_encoded_document_flag(self):
+        tree = BinaryTree.from_document(
+            parse_xml('<r a="1"/>'), encode_attributes=True
+        )
+        index = TreeIndex(tree)
+        f = extract_features(parse_xpath("//r[@a]"), index)
+        assert f.encoded
+        assert f.pred_candidates == (1,)  # the one @a node
+
+    def test_nested_predicate_depth(self, index):
+        f = extract_features(parse_xpath("//a[b[c] and not(d)]"), index)
+        assert f.pred_depth == 2
+        assert f.pred_paths == 3
+
+    def test_height_from_store_stats_wins(self, index):
+        index.doc_stats = {"height": 77}
+        assert planner.doc_height(index) == 77
+
+    def test_height_computed_and_cached_without_stats(self, index):
+        h = planner.doc_height(index)
+        assert h == index.tree.height()
+        assert index._planner_height == h
+
+
+class TestCostModel:
+    def test_monotone_in_candidate_volume(self, index):
+        rare = estimate_costs(
+            parse_xpath("//emph"), extract_features(parse_xpath("//emph"), index)
+        )
+        common = estimate_costs(
+            parse_xpath("//b"), extract_features(parse_xpath("//b"), index)
+        )
+        for name in ("vectorized", "optimized"):
+            assert common[name] >= rare[name]
+
+    def test_monotone_in_predicates(self, index):
+        plain_p = parse_xpath("//a")
+        pred_p = parse_xpath("//a[.//b]")
+        plain = estimate_costs(plain_p, extract_features(plain_p, index))
+        pred = estimate_costs(pred_p, extract_features(pred_p, index))
+        for name in ("vectorized", "optimized"):
+            assert pred[name] >= plain[name]
+
+    def test_monotone_in_steps(self, index):
+        one_p, two_p = parse_xpath("//b"), parse_xpath("//b//b")
+        one = estimate_costs(one_p, extract_features(one_p, index))
+        two = estimate_costs(two_p, extract_features(two_p, index))
+        for name in ("vectorized", "optimized"):
+            assert two[name] >= one[name]
+
+    def test_hybrid_priced_only_in_its_fragment(self, index):
+        chain = parse_xpath("//a//b")
+        other = parse_xpath("//a/b")  # child step: outside the chain fragment
+        assert "hybrid" in estimate_costs(chain, extract_features(chain, index))
+        assert "hybrid" not in estimate_costs(other, extract_features(other, index))
+
+    def test_node_at_a_time_wins_on_tiny_documents(self, index):
+        # A handful of candidate elements cannot amortize the fixed
+        # vectorized dispatch overhead.
+        p = parse_xpath("/site/a")
+        costs = estimate_costs(p, extract_features(p, index))
+        assert costs["optimized"] < costs["vectorized"]
+
+    def test_vectorized_wins_at_scale(self, xmark_index):
+        p = parse_xpath("//listitem//keyword")
+        costs = estimate_costs(p, extract_features(p, xmark_index))
+        assert costs["vectorized"] < costs["optimized"]
+
+    def test_vectorized_priced_only_in_its_fragment(self, index):
+        # A relative top-level path resolves away from 'vectorized'
+        # through the fallback chain, so pricing it would desync the
+        # choice from the strategy that actually executes.
+        p = parse_xpath("a//b")
+        costs = estimate_costs(p, extract_features(p, index))
+        assert "vectorized" not in costs
+        assert "optimized" in costs
+
+    def test_relative_path_plan_chooses_a_resolvable_strategy(self, index):
+        # The chosen strategy must execute under its own name so the
+        # feedback loop's observations key-match the choice.
+        state = PlannerState.plan(parse_xpath("a//b"), index)
+        assert state.choice.strategy in state.choice.costs
+        assert state.choice.strategy != "vectorized"
+
+
+class TestPlannerStrategy:
+    def test_auto_registered_and_default_listed_first(self):
+        assert "auto" in registry.strategy_names()
+        assert registry.describe_strategies()[0][0] == "auto"
+
+    def test_prepare_binds_cheapest_strategy(self, xmark_index):
+        engine = Engine(xmark_index, strategy="auto")
+        plan = engine.prepare("//listitem//keyword")
+        state = plan.artifacts["planner"]
+        assert plan.strategy.name == "auto"
+        assert state.choice.strategy == "vectorized"
+        assert state.active.name == "vectorized"
+
+    def test_backward_axes_bypass_the_planner(self, index):
+        engine = Engine(index, strategy="auto")
+        plan = engine.prepare("//b/parent::a")
+        assert plan.strategy.name == "mixed"
+        assert "planner" not in plan.artifacts
+
+    def test_results_match_oracle(self, index):
+        auto = Engine(index, strategy="auto")
+        naive = Engine(index, strategy="naive")
+        for q in ("//a//b", "//a[.//b]", "/site/*", "//c/following-sibling::b"):
+            assert auto.select(q) == naive.select(q), q
+
+    def test_plan_explain_surface(self, index):
+        engine = Engine(index, strategy="auto")
+        verdict = plan_explain(engine, "//a//b")
+        assert verdict["strategy"] == "auto"
+        assert verdict["planner"]["strategy"] in verdict["planner"]["costs"]
+        assert verdict["executes_as"] in registry.strategy_names()
+        assert verdict["nodes"] == index.tree.n
+
+    def test_explain_includes_planner_verdict(self, index):
+        engine = Engine(index, strategy="auto")
+        text = engine.explain("//a//b")
+        assert "planner: chose" in text
+        assert "candidate costs" in text
+
+
+class TestFeedbackLoop:
+    def _state(self, index, query="//a//b", factor=4.0):
+        return PlannerState.plan(parse_xpath(query), index, replan_factor=factor)
+
+    def test_in_band_observation_keeps_choice_and_freezes(self, index):
+        state = self._state(index)
+        chosen = state.choice.strategy
+        stats = EvalStats()
+        # An observation that matches the estimate (in model units: node
+        # strategies weigh each visited node by NODE_WEIGHT).
+        weight = 1.0 if chosen == "vectorized" else planner.NODE_WEIGHT
+        stats.visited = max(1, int(state.choice.estimate / weight))
+        for _ in range(planner.CONVERGED_RUNS):
+            assert state.observe(chosen, stats) is None
+        assert state.choice.strategy == chosen
+        assert state.frozen
+
+    def test_wild_observation_replans_to_observed_best(self, index):
+        state = self._state(index, factor=2.0)
+        chosen = state.choice.strategy
+        # Fabricate an execution 100x the estimate: far out of band.
+        stats = EvalStats()
+        stats.visited = int(state.choice.estimate * 100)
+        switched = state.observe(chosen, stats)
+        assert switched is not None and switched != chosen
+        assert state.replans == 1
+        assert state.choice.strategy == switched
+        assert not state.frozen
+
+    def test_observation_of_inactive_strategy_never_replans(self, index):
+        state = self._state(index)
+        other = next(
+            n for n in state.choice.costs if n != state.choice.strategy
+        )
+        stats = EvalStats()
+        stats.visited = 10**9
+        assert state.observe(other, stats) is None
+
+    def test_engine_level_replan_on_forced_misprediction(self, index):
+        engine = Engine(index, strategy="auto")
+        plan = engine.prepare("//a//b")
+        state = plan.artifacts["planner"]
+        # Force an absurdly tight band so the first real execution is
+        # declared a misprediction and the plan re-prices itself.
+        state.choice.costs[state.choice.strategy] = 10**12
+        state.choice = planner.PlanChoice(
+            state.choice.strategy,
+            10**12,
+            state.choice.costs,
+            state.choice.features,
+        )
+        before = state.choice.strategy
+        result = plan.execute()
+        assert list(result.ids) == Engine(index, strategy="naive").select("//a//b")
+        assert state.runs == 1
+        # The observed cost replaced the inflated estimate.
+        assert state.observed[before] < 10**12
+        # And later executions still return oracle-identical results.
+        assert list(plan.execute().ids) == list(result.ids)
+
+    def test_snapshot_is_json_friendly(self, index):
+        import json
+
+        state = self._state(index)
+        stats = EvalStats()
+        stats.visited = 10
+        state.observe(state.choice.strategy, stats)
+        json.dumps(state.snapshot())
+
+
+class TestPlanCacheEviction:
+    def test_engine_plan_cache_is_lru_bounded(self, index):
+        engine = Engine(index)
+        engine.plan_cache_size = 4
+        for i in range(10):
+            engine.prepare("//a//b" + "/b" * i)
+        info = engine.cache_info()["plans"]
+        assert info["size"] <= 4
+        assert info["evictions"] >= 6
+        assert info["misses"] == 10
+
+    def test_reprepared_plan_after_eviction_still_works(self, index):
+        engine = Engine(index)
+        engine.plan_cache_size = 1
+        first = engine.prepare("//a//b")
+        engine.prepare("//b")  # evicts the first plan
+        again = engine.prepare("//a//b")
+        assert again is not first
+        assert again.select() == first.select()
+
+    def test_plan_cache_hit_refreshes_recency(self, index):
+        engine = Engine(index)
+        engine.plan_cache_size = 2
+        a = engine.prepare("//a")
+        engine.prepare("//b")
+        engine.prepare("//a")  # refresh 'a'
+        engine.prepare("//c")  # evicts '//b', not '//a'
+        assert engine.prepare("//a") is a
+
+    def test_fused_cache_is_lru_bounded(self, index):
+        labels = index.labels
+        labels.fused_cache_size = 3
+        n_labels = len(index.tree.labels)
+        import itertools
+
+        for combo in itertools.combinations(range(n_labels), 2):
+            labels.fused(list(combo))
+        info = labels.cache_info()
+        assert info["size"] <= 3
+        assert info["evictions"] > 0
+        assert info["misses"] > 0
+
+    def test_fused_eviction_is_semantically_transparent(self, index):
+        labels = index.labels
+        labels.fused_cache_size = 2
+        first = labels.fused([0, 1]).lst
+        labels.fused([1, 2])
+        labels.fused([2, 3])  # [0, 1] evicted by now
+        assert labels.fused([0, 1]).lst == first
+
+    def test_fused_cache_hits_counted(self, index):
+        labels = index.labels
+        base = labels.cache_info()["hits"]
+        labels.fused([0, 1])
+        labels.fused([0, 1])
+        assert labels.cache_info()["hits"] >= base + 1
+
+    def test_fused_cache_safe_under_thread_contention(self, index):
+        # Pool threads of a QueryService drive one shard engine's index
+        # concurrently; the mutating LRU must never KeyError or corrupt.
+        import itertools
+        import threading
+
+        labels = index.labels
+        labels.fused_cache_size = 4
+        combos = list(itertools.combinations(range(len(index.tree.labels)), 2))
+        errors = []
+
+        def hammer(seed):
+            try:
+                for combo in combos[seed:] + combos[:seed]:
+                    for _ in range(20):
+                        labels.fused(list(combo))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert labels.cache_info()["size"] <= 4
+
+    def test_label_index_with_lock_still_pickles(self, index):
+        # Process-pool payloads ship shard label indexes by pickle; the
+        # cache lock must not travel.
+        import pickle
+
+        index.labels.fused([0, 1])
+        clone = pickle.loads(pickle.dumps(index.labels))
+        assert clone.fused([0, 1]).lst == index.labels.fused([0, 1]).lst
+        clone.cache_info()  # fresh lock works
+
+
+class TestWorkspaceAndParallelPlanning:
+    def test_workspace_cache_info_shape(self):
+        ws = Workspace(strategy="auto")
+        ws.add("d", XML)
+        ws.select("//a//b", "d")
+        info = ws.cache_info()
+        assert "compiled" in info
+        assert set(info["documents"]) == {"d"}
+        assert info["documents"]["d"]["plans"]["size"] >= 1
+
+    def test_auto_strategy_parallel_identity(self):
+        ws = Workspace(strategy="auto")
+        ws.add("d", "<r>" + "<a><b/><c><b/></c></a>" * 6 + "</r>")
+        queries = ["//a//b", "//a[b]", "/r/a/c", "//b"]
+        serial = ws.select_many(queries, document="d")
+        parallel = ws.select_many(queries, document="d", jobs=2, shards=3)
+        assert parallel == serial
+        ws.close()
+
+    def test_per_shard_plan_report(self):
+        ws = Workspace(strategy="auto")
+        ws.add("d", "<r>" + "<a><b/><c><b/></c></a>" * 6 + "</r>")
+        service = ws.service(jobs=2, shards=3)
+        report = service.plan_report("//a//b", "d")
+        assert report["shardable"]
+        assert len(report["shards"]) == 3
+        for shard in report["shards"]:
+            for entry in shard["paths"]:
+                assert entry["strategy"] == "auto"
+                assert entry["executes_as"] in registry.strategy_names()
+        ws.close()
+
+    def test_unshardable_plan_report(self):
+        ws = Workspace(strategy="auto")
+        ws.add("d", "<r>" + "<a><b/></a>" * 4 + "</r>")
+        service = ws.service(jobs=2)
+        report = service.plan_report("//a/following-sibling::a", "d")
+        assert not report["shardable"]
+        assert report["whole_document"]["strategy"] == "auto"
+        ws.close()
+
+
+class TestReplanFactorConfiguration:
+    def test_replan_factor_env_override(self, monkeypatch, index):
+        strategy = AutoStrategy()
+        strategy.replan_factor = 9.0
+        engine = Engine(index, strategy="naive")  # any engine works
+        plan = engine.prepare("//a//b", strategy="naive")
+        # Bind via the strategy's prepare hook directly.
+        strategy.prepare(plan)
+        assert plan.artifacts["planner"].replan_factor == 9.0
