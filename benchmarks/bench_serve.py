@@ -1,0 +1,205 @@
+"""Load generator for the query daemon: latency/QPS at 1/4/16 clients.
+
+Run as pytest (the CI ``serve-smoke`` job does, at a small scale)::
+
+    REPRO_BENCH_SCALE=0.2 pytest benchmarks/bench_serve.py -q
+
+The correctness assertions are blocking -- every response sampled from
+every concurrency level must equal the serial ``Workspace.select``
+oracle answer, and a warm ``POST /query`` repeat must be served from the
+daemon's prepared-plan map without any new automaton compilation --
+while the latency/throughput numbers are recorded into
+``BENCH_serve.json`` without being asserted (shared CI runners are
+noise; the artifact records the core count for interpretation).
+
+Run as a script to (re)generate the committed ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import tempfile
+import threading
+import time
+
+from repro.engine.workspace import Workspace
+from repro.serve import DaemonThread, QueryDaemon, ServeClient
+from repro.xmark.generator import XMarkGenerator
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+#: Requests per client at each concurrency level.
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "40"))
+CONCURRENCY_LEVELS = (1, 4, 16)
+# Default to a non-tracked path so a smoke run never clobbers the
+# committed artifact (regenerate that with `python benchmarks/bench_serve.py`).
+OUT = os.environ.get("REPRO_BENCH_OUT", "BENCH_serve.smoke.json")
+
+#: The served query mix -- a few planner-friendly shapes plus predicates.
+QUERY_MIX = [
+    "//keyword",
+    "/site/regions//item",
+    "//person[address]",
+    "//description//emph",
+    "/site/open_auctions/open_auction",
+    "//item[location]/description",
+]
+
+
+def _percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def _run_level(port: int, oracle: dict, clients: int, repeats: int) -> dict:
+    """``clients`` threads, each its own keep-alive connection; per-request
+    wall clocks pooled across all of them."""
+    latencies_ms: list = []
+    mismatches: list = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+
+    def worker(seed: int) -> None:
+        local: list = []
+        with ServeClient(port=port) as client:
+            client.healthz()  # connection established before the clock starts
+            barrier.wait()
+            for i in range(repeats):
+                query = QUERY_MIX[(seed + i) % len(QUERY_MIX)]
+                t0 = time.perf_counter()
+                payload = client.query(query, document="xmark")
+                local.append((time.perf_counter() - t0) * 1000.0)
+                if payload["ids"] != oracle[query]:
+                    with lock:
+                        mismatches.append((seed, query))
+        with lock:
+            latencies_ms.extend(local)
+
+    threads = [
+        threading.Thread(target=worker, args=(n,)) for n in range(clients)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall_s = time.perf_counter() - t0
+    assert not mismatches, f"served results diverged: {mismatches[:3]}"
+    total = clients * repeats
+    return {
+        "clients": clients,
+        "requests": total,
+        "p50_ms": round(_percentile(latencies_ms, 0.50), 3),
+        "p99_ms": round(_percentile(latencies_ms, 0.99), 3),
+        "mean_ms": round(statistics.fmean(latencies_ms), 3),
+        "qps": round(total / wall_s, 1),
+        "identical_to_serial": True,
+    }
+
+
+def build_report(scale: float = SCALE, repeats: int = REPEATS) -> dict:
+    """Boot a daemon over a freshly built store and drive the load mix."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as root:
+        ws = Workspace()
+        ws.add("xmark", XMarkGenerator(scale=scale, seed=42).xml())
+        nodes = ws.engine("xmark").tree.n
+        oracle = {q: ws.select(q, "xmark") for q in QUERY_MIX}
+        ws.save(root)
+        ws.close()
+
+        report = {
+            "benchmark": "repro serve load generator (POST /query mix)",
+            "scale": scale,
+            "nodes": nodes,
+            "queries": len(QUERY_MIX),
+            "repeats_per_client": repeats,
+            "cores": os.cpu_count(),
+            "oracle_match": True,
+            "levels": {},
+        }
+        with DaemonThread(
+            QueryDaemon(root, workers=os.cpu_count() or 1, queue_depth=64)
+        ) as handle:
+            port = handle.port
+
+            # Warm-path proof, before any load: the second identical
+            # request must be answered from the daemon's plan map with
+            # zero new compilations in the shared automaton cache.
+            with ServeClient(port=port) as client:
+                cold = client.query(QUERY_MIX[0], document="xmark")
+                compiled_before = (
+                    client.stats()["caches"]["compiled"]["compilations"]
+                )
+                warm = client.query(QUERY_MIX[0], document="xmark")
+                compiled_after = (
+                    client.stats()["caches"]["compiled"]["compilations"]
+                )
+            assert warm["warm"] is True, "second request missed the plan map"
+            assert compiled_after == compiled_before, (
+                "warm repeat triggered a recompilation"
+            )
+            assert warm["ids"] == cold["ids"] == oracle[QUERY_MIX[0]]
+            report["warm_repeat"] = {
+                "warm": True,
+                "recompiled": False,
+                "cold_prepare_ms": cold["timing_ms"]["prepare"],
+                "warm_prepare_ms": warm["timing_ms"]["prepare"],
+            }
+
+            for clients in CONCURRENCY_LEVELS:
+                report["levels"][str(clients)] = _run_level(
+                    port, oracle, clients, repeats
+                )
+
+            snapshot = handle.daemon.stats()
+            report["daemon"] = {
+                "workers": snapshot["admission"]["workers"],
+                "admission_limit": snapshot["admission"]["limit"],
+                "rejected": snapshot["counters"]["rejected"],
+                "warm_hits": snapshot["counters"]["warm_hits"],
+                "cold_misses": snapshot["counters"]["cold_misses"],
+            }
+        report["note"] = (
+            "latency/QPS depend on the core count recorded above; the "
+            "blocking assertions are response identity and the warm-path "
+            "no-recompilation check (see DESIGN.md, 'Serving')."
+        )
+        return report
+
+
+def _write(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def test_served_results_identical_and_warm_path_holds():
+    """Blocking: oracle identity at 1/4/16 clients + warm no-replan."""
+    report = build_report()
+    for clients in CONCURRENCY_LEVELS:
+        level = report["levels"][str(clients)]
+        assert level["identical_to_serial"]
+        assert level["requests"] == clients * report["repeats_per_client"]
+    assert report["warm_repeat"]["warm"] is True
+    assert report["warm_repeat"]["recompiled"] is False
+    _write(report, OUT)
+
+
+if __name__ == "__main__":
+    out = os.environ.get("REPRO_BENCH_OUT", "BENCH_serve.json")
+    report = build_report()
+    _write(report, out)
+    for clients in CONCURRENCY_LEVELS:
+        rec = report["levels"][str(clients)]
+        print(
+            f"{clients:3d} clients  p50 {rec['p50_ms']:7.3f} ms  "
+            f"p99 {rec['p99_ms']:7.3f} ms  {rec['qps']:8.1f} qps"
+        )
+    print(
+        f"wrote {out} (scale={report['scale']}, nodes={report['nodes']}, "
+        f"cores={report['cores']})"
+    )

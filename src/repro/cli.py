@@ -12,12 +12,16 @@ Examples::
     python -m repro.cli store build /var/xml/auctions --xmark 1.0
     python -m repro.cli store ls /var/xml/auctions
     python -m repro.cli store query '//keyword' /var/xml/auctions --count
+    python -m repro.cli serve --store /var/xml/corpus --port 8726
+    python -m repro.cli client query '//keyword' --port 8726 --count
+    python -m repro.cli client stats --format table
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -26,6 +30,15 @@ from repro.engine.api import Engine
 from repro.tree.binary import BinaryTree
 from repro.tree.parser import parse_xml
 from repro.xmark.generator import XMarkGenerator
+from repro.xpath.parser import XPathSyntaxError
+
+
+def _report_error(exc: Exception) -> None:
+    """Structured stderr rendering: syntax errors point into the query."""
+    if isinstance(exc, XPathSyntaxError):
+        print(exc.describe(), file=sys.stderr)
+    else:
+        print(f"error: {exc}", file=sys.stderr)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -252,7 +265,7 @@ def _bundle_summary(path: str, header: dict) -> dict:
         full = os.path.join(path, entry)
         if os.path.isfile(full):
             size += os.path.getsize(full)
-    return {
+    summary = {
         "path": path,
         "version": header["version"],
         "nodes": header["n"],
@@ -262,6 +275,12 @@ def _bundle_summary(path: str, header: dict) -> dict:
         "created": header["created"],
         "bytes": size,
     }
+    # Build-time document statistics (absent from pre-planner bundles).
+    stats = header.get("stats")
+    if isinstance(stats, dict):
+        for key, value in sorted(stats.items()):
+            summary.setdefault(key, value)
+    return summary
 
 
 def store_main(argv: List[str], out) -> int:
@@ -318,7 +337,7 @@ def store_main(argv: List[str], out) -> int:
                     source=source,
                 )
         except (ValueError, StoreError, OSError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            _report_error(exc)
             return 1
         print(
             json.dumps(
@@ -347,7 +366,7 @@ def store_main(argv: List[str], out) -> int:
                     summary["name"] = name
                 listing.append(summary)
         except (StoreError, OSError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            _report_error(exc)
             return 1
         print(json.dumps(listing, sort_keys=True), file=out)
         return 0
@@ -359,7 +378,7 @@ def store_main(argv: List[str], out) -> int:
         plan = engine.prepare(args.query)
         result = plan.execute()
     except (ValueError, StoreError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _report_error(exc)
         return 1
     ids = list(result.ids)
     if args.count:
@@ -452,8 +471,284 @@ def plan_main(argv: List[str], out) -> int:
         else:
             print(engine.prepare(args.query).explain(), file=out)
     except (ValueError, OSError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _report_error(exc)
         return 1
+    return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    from repro.serve.daemon import QUEUE_DEPTH, TIMEOUT_S
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "run the persistent query daemon over one or more store "
+            "corpora (repro.serve); corpora mount via zero-copy mmap "
+            "reopen and prepared-query/planner state stays hot across "
+            "requests"
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        action="append",
+        required=True,
+        metavar="DIR",
+        help="corpus directory of bundles (repeatable)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8726,
+        help="bind port (0 picks a free one; default 8726)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="evaluation worker threads (default: CPU count)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=QUEUE_DEPTH,
+        help=(
+            "requests allowed to wait beyond the busy workers before "
+            f"429 (default {QUEUE_DEPTH})"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=TIMEOUT_S,
+        help=f"per-request budget in seconds (default {TIMEOUT_S:g})",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=registry.strategy_names(),
+        default="auto",
+        help="evaluation strategy (default: auto, the cost-based planner)",
+    )
+    parser.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="read the corpus arrays into memory instead of mapping them",
+    )
+    return parser
+
+
+def serve_main(argv: List[str], out) -> int:
+    from repro.serve.daemon import QueryDaemon
+    from repro.store import StoreError
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    try:
+        daemon = QueryDaemon(
+            args.store,
+            strategy=args.strategy,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            timeout=args.timeout,
+            host=args.host,
+            port=args.port,
+            mmap=not args.no_mmap,
+        )
+    except (ValueError, StoreError, OSError) as exc:
+        _report_error(exc)
+        return 1
+
+    def ready(d: QueryDaemon) -> None:
+        print(
+            json.dumps(
+                {
+                    "serving": f"{d.host}:{d.port}",
+                    "documents": d.documents(),
+                    "strategy": d.workspace.strategy,
+                    "workers": d.workers,
+                    "admission_limit": d.admission_limit,
+                    "timeout_s": d.timeout,
+                },
+                sort_keys=True,
+            ),
+            file=out,
+            flush=True,
+        )
+
+    try:
+        daemon.run(ready=ready)
+    except OSError as exc:  # e.g. port already bound
+        _report_error(exc)
+        return 1
+    return 0
+
+
+def build_client_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro client",
+        description="talk to a running repro serve daemon",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="daemon host")
+    parser.add_argument(
+        "--port", type=int, default=8726, help="daemon port (default 8726)"
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    def add_format(p) -> None:
+        p.add_argument(
+            "--format",
+            choices=("table", "csv", "json"),
+            default="table",
+            help="output rendering (default: table)",
+        )
+
+    query = sub.add_parser("query", help="run one query on the daemon")
+    query.add_argument("query", help="an XPath query")
+    query.add_argument("--document", help="mounted document name")
+    query.add_argument(
+        "--count", action="store_true", help="print only the result count"
+    )
+    query.add_argument(
+        "--labels", action="store_true", help="include element names"
+    )
+    add_format(query)
+
+    batch = sub.add_parser("batch", help="run a query file as one batch")
+    batch.add_argument(
+        "--queries",
+        required=True,
+        metavar="FILE",
+        help="query file (same format as repro batch)",
+    )
+    batch.add_argument("--document", help="mounted document name")
+    batch.add_argument(
+        "--count", action="store_true", help="fetch counts, not id lists"
+    )
+    add_format(batch)
+
+    explain = sub.add_parser(
+        "explain", help="show the daemon's plan for a query"
+    )
+    explain.add_argument("query", help="an XPath query")
+    explain.add_argument("--document", help="mounted document name")
+
+    stats = sub.add_parser("stats", help="daemon counters and cache state")
+    add_format(stats)
+
+    sub.add_parser("health", help="liveness probe")
+    return parser
+
+
+def client_main(argv: List[str], out) -> int:
+    from repro.serve.client import ServeClient, ServeError, format_rows
+
+    parser = build_client_parser()
+    args = parser.parse_args(argv)
+    client = ServeClient(args.host, args.port)
+    try:
+        if args.cmd == "query":
+            payload = client.query(
+                args.query,
+                document=args.document,
+                count=args.count,
+                labels=args.labels,
+            )
+            if args.format == "json":
+                print(json.dumps(payload, sort_keys=True), file=out)
+            elif args.count:
+                print(payload["count"], file=out)
+            else:
+                ids = payload.get("ids", [])
+                labels = payload.get("labels")
+                if labels is not None:
+                    rows = [
+                        {"id": v, "label": l} for v, l in zip(ids, labels)
+                    ]
+                    print(format_rows(rows, ["id", "label"], args.format), file=out)
+                else:
+                    rows = [{"id": v} for v in ids]
+                    print(format_rows(rows, ["id"], args.format), file=out)
+        elif args.cmd == "batch":
+            named = _read_queries(args.queries)
+            if not named:
+                print(f"error: no queries in {args.queries}", file=sys.stderr)
+                return 1
+            payload = client.batch(
+                [q for _, q in named],
+                document=args.document,
+                count=args.count,
+            )
+            if args.format == "json":
+                print(json.dumps(payload, sort_keys=True), file=out)
+            else:
+                rows = [
+                    {
+                        "name": name,
+                        "query": entry["query"],
+                        "count": entry["count"],
+                        "strategy": entry["strategy"],
+                        "warm": entry["warm"],
+                        "ms": entry["timing_ms"]["total"],
+                    }
+                    for (name, _), entry in zip(named, payload["results"])
+                ]
+                print(
+                    format_rows(
+                        rows,
+                        ["name", "query", "count", "strategy", "warm", "ms"],
+                        args.format,
+                    ),
+                    file=out,
+                )
+        elif args.cmd == "explain":
+            payload = client.explain(args.query, document=args.document)
+            print(payload["text"], file=out)
+        elif args.cmd == "stats":
+            payload = client.stats()
+            if args.format == "json":
+                print(json.dumps(payload, sort_keys=True), file=out)
+            else:
+                rows = [
+                    {"counter": key, "value": value}
+                    for key, value in sorted(payload["counters"].items())
+                ]
+                rows.append(
+                    {"counter": "uptime_s", "value": payload["uptime_s"]}
+                )
+                rows.append(
+                    {
+                        "counter": "in_flight",
+                        "value": payload["admission"]["in_flight"],
+                    }
+                )
+                print(
+                    format_rows(rows, ["counter", "value"], args.format),
+                    file=out,
+                )
+        else:  # health
+            print(json.dumps(client.healthz(), sort_keys=True), file=out)
+    except ServeError as exc:
+        error = exc.payload.get("error", {})
+        if error.get("kind") == "syntax":
+            # Render the daemon's structured payload exactly as a local
+            # parse failure: message, offset, caret.
+            _report_error(
+                XPathSyntaxError(
+                    error.get("message", str(exc)),
+                    offset=error.get("offset"),
+                    query=error.get("query"),
+                )
+            )
+        else:
+            _report_error(exc)
+        return 1
+    except BrokenPipeError:
+        raise  # handled once, in main()
+    except (ConnectionError, ValueError, OSError) as exc:
+        _report_error(exc)
+        return 1
+    finally:
+        client.close()
     return 0
 
 
@@ -495,7 +790,7 @@ def batch_main(argv: List[str], out) -> int:
     try:
         named = _read_queries(args.queries)
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _report_error(exc)
         return 1
     if not named:
         print(f"error: no queries in {args.queries}", file=sys.stderr)
@@ -513,7 +808,7 @@ def batch_main(argv: List[str], out) -> int:
             # Streaming build: events append straight into the arrays.
             doc = BinaryTree.from_xml(text)
         except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
+            _report_error(exc)
             return 1
 
     workspace = Workspace(strategy=args.strategy)
@@ -531,7 +826,7 @@ def batch_main(argv: List[str], out) -> int:
             )
             stats[name] = dict(result.stats.snapshot(), query=query)
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _report_error(exc)
         return 1
     finally:
         workspace.close()
@@ -550,6 +845,21 @@ def batch_main(argv: List[str], out) -> int:
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
+    try:
+        return _main(argv, out)
+    except BrokenPipeError:
+        # Output piped into e.g. `head` that stopped reading: truncation
+        # is the caller's intent, not a failure.  Point stdout at
+        # /dev/null so the interpreter's exit-time flush stays quiet.
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "batch":
@@ -558,6 +868,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return store_main(argv[1:], out)
     if argv and argv[0] == "plan":
         return plan_main(argv[1:], out)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:], out)
+    if argv and argv[0] == "client":
+        return client_main(argv[1:], out)
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -587,7 +901,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
             doc, strategy=args.strategy, encode_attributes=args.attributes
         )
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _report_error(exc)
         return 1
 
     try:
@@ -597,7 +911,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         plan = engine.prepare(args.query)
         result = plan.execute()
     except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        _report_error(exc)
         return 1
 
     ids = list(result.ids)

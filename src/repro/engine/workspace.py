@@ -62,6 +62,10 @@ class Workspace:
         self._engines: Dict[str, Engine] = {}
         self._services: Dict[Tuple[int, str, Optional[int]], "QueryService"] = {}
         self._services_lock = threading.Lock()
+        # Documents this workspace opened itself via open_store: it owns
+        # their mmap handles and releases them on remove()/close().
+        # (Documents passed to add() are caller-owned and never closed.)
+        self._stored: Dict[str, "StoredDocument"] = {}
 
     # -- document management ------------------------------------------------
 
@@ -81,9 +85,16 @@ class Workspace:
         return engine
 
     def remove(self, name: str) -> None:
-        """Drop a document (compiled queries stay cached for the rest)."""
+        """Drop a document (compiled queries stay cached for the rest).
+
+        A document this workspace opened itself (via :meth:`open_store`)
+        also has its mmap handles released.
+        """
         del self._engines[name]
         self._invalidate_services(name)
+        stored = self._stored.pop(name, None)
+        if stored is not None:
+            stored.close()
 
     def _invalidate_services(self, name: str) -> None:
         """Drop any parallel-service state derived from document ``name``
@@ -137,7 +148,9 @@ class Workspace:
             raise ValueError(f"no document bundles in {path!r}")
         registered: List[str] = []
         for name in wanted:
-            self.add(name, store.open(name, mmap=mmap))
+            document = store.open(name, mmap=mmap)
+            self.add(name, document)
+            self._stored[name] = document
             registered.append(name)
         return registered
 
@@ -258,11 +271,37 @@ class Workspace:
         return service
 
     def close(self) -> None:
-        """Shut down any worker pools created through :meth:`service`."""
+        """Shut down worker pools and release owned store handles.
+
+        Idempotent.  Every :class:`~repro.engine.parallel.QueryService`
+        pool created through :meth:`service` is shut down, and every
+        document this workspace opened itself via :meth:`open_store` is
+        dropped and has its mmap handles closed
+        (:meth:`repro.store.StoredDocument.close`).  Documents passed to
+        :meth:`add` by the caller stay registered and untouched -- the
+        caller owns their lifetime.  The workspace also works as a
+        context manager::
+
+            with Workspace() as ws:
+                ws.open_store(path)
+                ...
+        """
         with self._services_lock:
             services, self._services = list(self._services.values()), {}
         for service in services:
             service.close()
+        stored, self._stored = self._stored, {}
+        for name, document in stored.items():
+            # Drop the engine first: it holds the index whose ndarrays
+            # pin exports on the mmaps being closed.
+            self._engines.pop(name, None)
+            document.close()
+
+    def __enter__(self) -> "Workspace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def count_all(self, query: Query) -> Dict[str, int]:
         """Result cardinality per document (cheap fan-out analytics)."""

@@ -1,0 +1,27 @@
+"""``repro serve``: a persistent query daemon over mmap store corpora.
+
+The package turns the single-shot library into a long-running system:
+
+- :class:`~repro.serve.daemon.QueryDaemon` mounts one or more
+  :class:`~repro.store.DocumentStore` corpora via zero-copy mmap reopen
+  and keeps :class:`~repro.engine.workspace.Workspace` /
+  :class:`~repro.engine.plan.PreparedQuery` / planner state hot across
+  requests, behind a stdlib-only asyncio HTTP/JSON front
+  (:mod:`repro.serve.http`) with a bounded worker pool, admission
+  control, and per-request timeouts.
+- :class:`~repro.serve.client.ServeClient` is the matching stdlib
+  client (``repro client query/batch/stats`` in the CLI).
+- :class:`~repro.serve.daemon.DaemonThread` runs a daemon on a
+  background thread for tests and benchmarks.
+"""
+
+from repro.serve.client import ServeClient, ServeError, format_rows
+from repro.serve.daemon import DaemonThread, QueryDaemon
+
+__all__ = [
+    "DaemonThread",
+    "QueryDaemon",
+    "ServeClient",
+    "ServeError",
+    "format_rows",
+]

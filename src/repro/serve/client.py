@@ -1,0 +1,200 @@
+"""Stdlib client for the query daemon (and the ``repro client`` CLI).
+
+:class:`ServeClient` speaks the daemon's HTTP/JSON protocol over a
+persistent keep-alive :class:`http.client.HTTPConnection` (re-opened
+transparently if the server or an idle timeout dropped it -- queries are
+idempotent, so a single retry is safe).  Error responses raise
+:class:`ServeError` carrying the daemon's structured payload.
+
+:func:`format_rows` renders result rows as an aligned plain-text table,
+CSV, or JSON -- the same three output modes for every ``repro client``
+subcommand.
+"""
+
+from __future__ import annotations
+
+import csv
+import http.client
+import io
+import json
+from typing import Any, Dict, List, Optional
+from urllib.parse import urlencode
+
+
+class ServeError(Exception):
+    """A non-2xx daemon response, with its structured error payload."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        self.status = status
+        self.payload = payload
+        self.kind = error.get("kind", "unknown")
+        message = error.get("message", "unknown error")
+        super().__init__(f"HTTP {status} [{self.kind}]: {message}")
+
+
+class ServeClient:
+    """A thin blocking client bound to one daemon address."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8726,
+        *,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -----------------------------------------------------------
+
+    def close(self) -> None:
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[dict] = None,
+        params: Optional[Dict[str, str]] = None,
+    ) -> dict:
+        if params:
+            path = f"{path}?{urlencode(params)}"
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error: Optional[Exception] = None
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(method, path, body=data, headers=headers)
+                response = self._conn.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError) as exc:
+                # A dropped keep-alive connection: reconnect once.
+                self.close()
+                last_error = exc
+        else:
+            raise ConnectionError(
+                f"cannot reach daemon at {self.host}:{self.port}: {last_error}"
+            ) from last_error
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            raise ServeError(
+                response.status,
+                {"error": {"kind": "protocol", "message": raw[:200].decode("utf-8", "replace")}},
+            ) from None
+        if response.status >= 400:
+            raise ServeError(response.status, payload)
+        return payload
+
+    # -- endpoints -----------------------------------------------------------
+
+    def query(
+        self,
+        query: str,
+        *,
+        document: Optional[str] = None,
+        count: bool = False,
+        labels: bool = False,
+        stats: bool = False,
+        strategy: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> dict:
+        body: Dict[str, Any] = {"query": query}
+        if document is not None:
+            body["document"] = document
+        if count:
+            body["count"] = True
+        if labels:
+            body["labels"] = True
+        if stats:
+            body["stats"] = True
+        if strategy is not None:
+            body["strategy"] = strategy
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._request("POST", "/query", body=body)
+
+    def batch(
+        self,
+        queries: List[str],
+        *,
+        document: Optional[str] = None,
+        count: bool = False,
+        strategy: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> dict:
+        body: Dict[str, Any] = {"queries": list(queries)}
+        if document is not None:
+            body["document"] = document
+        if count:
+            body["count"] = True
+        if strategy is not None:
+            body["strategy"] = strategy
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._request("POST", "/batch", body=body)
+
+    def explain(
+        self, query: str, *, document: Optional[str] = None
+    ) -> dict:
+        params = {"query": query}
+        if document is not None:
+            params["document"] = document
+        return self._request("GET", "/explain", params=params)
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+
+def format_rows(
+    rows: List[Dict[str, Any]], columns: List[str], fmt: str
+) -> str:
+    """Render ``rows`` (dicts keyed by ``columns``) in one of the three
+    client output formats: an aligned plain-text ``table``, ``csv``, or
+    ``json`` (the rows verbatim)."""
+    if fmt == "json":
+        return json.dumps(rows, indent=2, sort_keys=True)
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(columns)
+        for row in rows:
+            writer.writerow([row.get(c, "") for c in columns])
+        return buffer.getvalue().rstrip("\n")
+    if fmt != "table":
+        raise ValueError(f"unknown format {fmt!r}")
+    cells = [[str(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for line in cells:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(line.rstrip() for line in lines)

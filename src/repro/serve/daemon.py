@@ -1,0 +1,680 @@
+"""The persistent query daemon: warm engine state behind asyncio HTTP.
+
+:class:`QueryDaemon` is the long-running counterpart of the one-shot
+CLI.  At startup it mounts one or more :class:`~repro.store.DocumentStore`
+corpora into a single :class:`~repro.engine.workspace.Workspace` via the
+zero-copy mmap reopen path (no XML parsing, no index rebuild), and then
+keeps everything the single-shot paths throw away hot across requests:
+the shared compiled-automaton cache, each engine's prepared-plan LRU,
+the fused label-union caches, and -- under the default ``auto``
+strategy -- the cost-based planner's converged, frozen per-query
+choices.  A repeated ``POST /query`` therefore does *zero* re-parsing,
+re-compilation, or re-planning: the daemon resolves it through its own
+``(document, query, strategy)`` -> :class:`PreparedQuery` map and goes
+straight to execution (the response's ``warm`` flag and ``timing_ms``
+breakdown make that observable, and ``GET /stats`` exposes every cache's
+counters).
+
+Concurrency model
+-----------------
+
+One asyncio event loop owns the sockets and all admission bookkeeping
+(single-threaded, so the in-flight counter needs no lock); query
+evaluation -- pure CPU work -- runs on a bounded
+:class:`~concurrent.futures.ThreadPoolExecutor` of ``workers`` threads.
+Admission control is a hard cap of ``workers + queue_depth`` pool-bound
+requests in flight: request ``workers + queue_depth + 1`` is answered
+``429`` immediately instead of queueing without bound (degrading every
+other client's latency).  Each pool-bound request runs under
+``asyncio.wait_for``: on timeout the client gets a structured ``504``
+and the task is cancelled -- a still-queued task is truly cancelled and
+never runs; a task already on a worker thread finishes and its result is
+discarded (the admission slot is released either way).  Executions of
+one prepared plan are serialized by the plan's own lock
+(:meth:`~repro.engine.plan.PreparedQuery.execute`), so concurrent
+identical queries stay correct; distinct queries run concurrently.
+
+Endpoints
+---------
+
+- ``POST /query``  -- one query: ``{"query": ..., "document": ...}``
+- ``POST /batch``  -- a list of queries, one admission slot
+- ``GET /explain`` -- resolved strategy + planner verdict for a query
+- ``GET /stats``   -- daemon counters, admission state, cache statistics
+- ``GET /healthz`` -- liveness + mounted documents
+
+Errors are structured JSON (``{"error": {"kind", "message", ...}}``);
+malformed XPath answers ``400`` with the parser's offset-carrying
+payload (:meth:`repro.xpath.parser.XPathSyntaxError.to_dict`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import sys
+import threading
+import time
+import traceback
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine import registry
+from repro.engine.planner import planner_fields
+from repro.engine.workspace import Workspace
+from repro.serve.http import HttpError, Request, read_request, send_response
+from repro.xpath.parser import XPathSyntaxError
+
+#: Default admission queue depth beyond the worker threads.
+QUEUE_DEPTH = int(os.environ.get("REPRO_SERVE_QUEUE_DEPTH", "16"))
+#: Default per-request timeout in seconds.
+TIMEOUT_S = float(os.environ.get("REPRO_SERVE_TIMEOUT_S", "30"))
+#: Bound on the daemon's (document, query, strategy) -> plan map.
+PREPARED_CACHE_SIZE = int(os.environ.get("REPRO_SERVE_PREPARED_CACHE", "1024"))
+
+
+class QueryDaemon:
+    """A long-lived HTTP/JSON query service over store corpora.
+
+    Parameters
+    ----------
+    stores:
+        One corpus directory, or a sequence of them.  Every bundle of
+        every directory is mounted by its bundle name (duplicate names
+        across directories are rejected at startup).
+    strategy:
+        The workspace-wide evaluation strategy (default ``auto``, the
+        cost-based planner -- whose freeze-after-convergence is exactly
+        what a long-lived process amortizes).
+    workers:
+        Worker-thread count for query evaluation (default: CPU count).
+    queue_depth:
+        Extra requests allowed to wait beyond the busy workers before
+        new ones are refused with 429.
+    timeout:
+        Per-request wall-clock budget in seconds; requests may lower
+        (never raise) it per call via ``"timeout_s"``.
+    host / port:
+        Bind address.  ``port=0`` picks a free port; :attr:`port` holds
+        the bound one after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        stores: Union[str, Sequence[str]],
+        *,
+        strategy: str = "auto",
+        workers: Optional[int] = None,
+        queue_depth: int = QUEUE_DEPTH,
+        timeout: float = TIMEOUT_S,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        mmap: bool = True,
+        max_body: int = 8 * 1024 * 1024,
+        prepared_cache_size: int = PREPARED_CACHE_SIZE,
+    ) -> None:
+        if isinstance(stores, str):
+            stores = [stores]
+        if not stores:
+            raise ValueError("at least one store directory is required")
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
+        self.queue_depth = queue_depth
+        self.admission_limit = self.workers + self.queue_depth
+        self.max_body = max_body
+        self.prepared_cache_size = prepared_cache_size
+        self.workspace = Workspace(strategy=strategy)
+        self.mounts: Dict[str, List[str]] = {}
+        for store_dir in stores:
+            names = self.workspace.open_store(store_dir, mmap=mmap)
+            self.mounts[os.path.abspath(store_dir)] = names
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self._prepared: "OrderedDict[Tuple[str, str, str], object]" = (
+            OrderedDict()
+        )
+        self._prepared_lock = threading.Lock()
+        # Touched from the event-loop thread only.
+        self._in_flight = 0
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._started = time.monotonic()
+        # warm/cold are bumped from pool threads; everything else from
+        # the event loop.  One lock keeps all of them exact.
+        self._counters_lock = threading.Lock()
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "queries": 0,
+            "batches": 0,
+            "batch_queries": 0,
+            "explains": 0,
+            "rejected": 0,
+            "timeouts": 0,
+            "syntax_errors": 0,
+            "bad_requests": 0,
+            "internal_errors": 0,
+            "warm_hits": 0,
+            "cold_misses": 0,
+        }
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _bump(self, counter: str, by: int = 1) -> None:
+        with self._counters_lock:
+            self.counters[counter] += by
+
+    def documents(self) -> List[str]:
+        return self.workspace.documents()
+
+    # -- request-payload helpers ---------------------------------------------
+
+    def _resolve_document(self, name: Optional[str]):
+        """The named engine, defaulting to a single mounted document."""
+        docs = self.workspace.documents()
+        if name is None:
+            if len(docs) == 1:
+                name = docs[0]
+            else:
+                raise HttpError(
+                    400,
+                    "bad_request",
+                    "'document' is required when several are mounted",
+                    {"documents": docs},
+                )
+        if name not in self.workspace:
+            raise HttpError(
+                404,
+                "unknown_document",
+                f"no document {name!r}",
+                {"documents": docs},
+            )
+        return name, self.workspace.engine(name)
+
+    def _resolve_strategy(self, payload: dict) -> str:
+        strategy = payload.get("strategy", self.workspace.strategy)
+        if not isinstance(strategy, str) or strategy not in registry.strategy_names():
+            raise HttpError(
+                400,
+                "bad_request",
+                f"unknown strategy {strategy!r}",
+                {"strategies": registry.strategy_names()},
+            )
+        return strategy
+
+    def _resolve_timeout(self, payload: dict) -> float:
+        timeout_s = payload.get("timeout_s", self.timeout)
+        if not isinstance(timeout_s, (int, float)) or isinstance(timeout_s, bool):
+            raise HttpError(400, "bad_request", "'timeout_s' must be a number")
+        if timeout_s <= 0:
+            raise HttpError(400, "bad_request", "'timeout_s' must be > 0")
+        # Clients may tighten the budget, never widen the daemon's cap.
+        return min(float(timeout_s), self.timeout)
+
+    @staticmethod
+    def _query_field(payload: dict, key: str = "query") -> str:
+        query = payload.get(key)
+        if not isinstance(query, str) or not query.strip():
+            raise HttpError(
+                400, "bad_request", f"{key!r} must be a non-empty string"
+            )
+        return query
+
+    @staticmethod
+    def _flag(payload: dict, key: str) -> bool:
+        value = payload.get(key, False)
+        if not isinstance(value, bool):
+            raise HttpError(400, "bad_request", f"{key!r} must be a boolean")
+        return value
+
+    # -- warm prepared-plan map ----------------------------------------------
+
+    def _prepared_plan(self, document: str, query: str, strategy: str):
+        """The (daemon-cached) prepared plan; ``(plan, warm)``.
+
+        A hit means the request does zero parsing, zero compilation and
+        zero plan resolution -- including zero planner work once the
+        ``auto`` planner froze the plan's converged choice -- which is
+        the whole point of serving from one process.
+        """
+        key = (document, query, strategy)
+        with self._prepared_lock:
+            plan = self._prepared.get(key)
+            if plan is not None:
+                self._prepared.move_to_end(key)
+        if plan is not None:
+            self._bump("warm_hits")
+            return plan, True
+        engine = self.workspace.engine(document)
+        plan = engine.prepare(query, strategy=strategy)
+        with self._prepared_lock:
+            self._prepared[key] = plan
+            while len(self._prepared) > self.prepared_cache_size:
+                self._prepared.popitem(last=False)
+        self._bump("cold_misses")
+        return plan, False
+
+    # -- pool-side work ------------------------------------------------------
+
+    def _evaluate(
+        self,
+        document: str,
+        query: str,
+        strategy: str,
+        *,
+        count_only: bool,
+        with_labels: bool,
+        with_stats: bool,
+    ) -> dict:
+        """One query, start to finish, on a worker thread."""
+        t0 = time.perf_counter()
+        plan, warm = self._prepared_plan(document, query, strategy)
+        t1 = time.perf_counter()
+        result = plan.execute()
+        t2 = time.perf_counter()
+        payload = {
+            "document": document,
+            "query": query,
+            "strategy": plan.strategy.name,
+            "count": len(result.ids),
+            "warm": warm,
+            "timing_ms": {
+                "prepare": round((t1 - t0) * 1000.0, 4),
+                "execute": round((t2 - t1) * 1000.0, 4),
+                "total": round((t2 - t0) * 1000.0, 4),
+            },
+        }
+        payload.update(planner_fields(plan))
+        if not count_only:
+            payload["ids"] = list(result.ids)
+        if with_labels:
+            engine = self.workspace.engine(document)
+            payload["labels"] = engine.labels_of(list(result.ids))
+        if with_stats:
+            payload["stats"] = result.stats.snapshot()
+        return payload
+
+    def _evaluate_batch(
+        self,
+        document: str,
+        queries: List[str],
+        strategy: str,
+        *,
+        count_only: bool,
+    ) -> dict:
+        t0 = time.perf_counter()
+        results = [
+            self._evaluate(
+                document,
+                query,
+                strategy,
+                count_only=count_only,
+                with_labels=False,
+                with_stats=False,
+            )
+            for query in queries
+        ]
+        for entry in results:
+            entry.pop("document", None)
+        return {
+            "document": document,
+            "results": results,
+            "timing_ms": {
+                "total": round((time.perf_counter() - t0) * 1000.0, 4)
+            },
+        }
+
+    def _explain(self, document: str, query: str, strategy: str) -> dict:
+        plan, warm = self._prepared_plan(document, query, strategy)
+        payload = {
+            "document": document,
+            "query": query,
+            "strategy": plan.strategy.name,
+            "warm": warm,
+            "text": plan.explain(),
+        }
+        payload.update(planner_fields(plan))
+        return payload
+
+    # -- admission + timeout -------------------------------------------------
+
+    async def _admit(self, fn, timeout_s: float):
+        """Run ``fn`` on the pool under admission control and a deadline.
+
+        Runs on the event loop, whose single thread makes the
+        check-then-increment on :attr:`_in_flight` race-free without a
+        lock.
+        """
+        if self._in_flight >= self.admission_limit:
+            self._bump("rejected")
+            raise HttpError(
+                429,
+                "overloaded",
+                f"{self._in_flight} requests in flight "
+                f"(limit {self.admission_limit}); retry later",
+                {"limit": self.admission_limit},
+            )
+        self._in_flight += 1
+        try:
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(self._pool, fn)
+            try:
+                return await asyncio.wait_for(future, timeout_s)
+            except asyncio.TimeoutError:
+                # wait_for already cancelled the future: a still-queued
+                # task never runs; one mid-execution finishes on its
+                # worker thread and the result is dropped.
+                self._bump("timeouts")
+                raise HttpError(
+                    504,
+                    "timeout",
+                    f"request exceeded its {timeout_s}s budget",
+                    {"timeout_s": timeout_s},
+                ) from None
+        finally:
+            self._in_flight -= 1
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _dispatch(self, request: Request) -> Tuple[int, dict]:
+        path, method = request.path, request.method
+        if path == "/healthz":
+            self._require(method, "GET")
+            return 200, {
+                "ok": True,
+                "documents": self.documents(),
+                "uptime_s": round(time.monotonic() - self._started, 3),
+            }
+        if path == "/stats":
+            self._require(method, "GET")
+            return 200, self.stats()
+        if path == "/query":
+            self._require(method, "POST")
+            payload = request.json()
+            name, _ = self._resolve_document(payload.get("document"))
+            strategy = self._resolve_strategy(payload)
+            query = self._query_field(payload)
+            count_only = self._flag(payload, "count")
+            with_labels = self._flag(payload, "labels")
+            with_stats = self._flag(payload, "stats")
+            timeout_s = self._resolve_timeout(payload)
+            self._bump("queries")
+            out = await self._admit(
+                lambda: self._evaluate(
+                    name,
+                    query,
+                    strategy,
+                    count_only=count_only,
+                    with_labels=with_labels,
+                    with_stats=with_stats,
+                ),
+                timeout_s,
+            )
+            return 200, out
+        if path == "/batch":
+            self._require(method, "POST")
+            payload = request.json()
+            name, _ = self._resolve_document(payload.get("document"))
+            strategy = self._resolve_strategy(payload)
+            queries = payload.get("queries")
+            if (
+                not isinstance(queries, list)
+                or not queries
+                or not all(isinstance(q, str) and q.strip() for q in queries)
+            ):
+                raise HttpError(
+                    400,
+                    "bad_request",
+                    "'queries' must be a non-empty list of query strings",
+                )
+            count_only = self._flag(payload, "count")
+            timeout_s = self._resolve_timeout(payload)
+            self._bump("batches")
+            self._bump("batch_queries", len(queries))
+            out = await self._admit(
+                lambda: self._evaluate_batch(
+                    name, queries, strategy, count_only=count_only
+                ),
+                timeout_s,
+            )
+            return 200, out
+        if path == "/explain":
+            self._require(method, "GET")
+            params = request.params
+            name, _ = self._resolve_document(params.get("document"))
+            strategy = self._resolve_strategy(params)
+            query = self._query_field(params)
+            self._bump("explains")
+            out = await self._admit(
+                lambda: self._explain(name, query, strategy), self.timeout
+            )
+            return 200, out
+        raise HttpError(
+            404,
+            "not_found",
+            f"no route {path!r}",
+            {"routes": ["/query", "/batch", "/explain", "/stats", "/healthz"]},
+        )
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise HttpError(
+                405, "method_not_allowed", f"use {expected}, not {method}"
+            )
+
+    def stats(self) -> dict:
+        """The ``GET /stats`` payload (also handy in-process)."""
+        with self._counters_lock:
+            counters = dict(self.counters)
+        with self._prepared_lock:
+            prepared = {
+                "size": len(self._prepared),
+                "maxsize": self.prepared_cache_size,
+            }
+        return {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "strategy": self.workspace.strategy,
+            "admission": {
+                "workers": self.workers,
+                "queue_depth": self.queue_depth,
+                "limit": self.admission_limit,
+                "in_flight": self._in_flight,
+            },
+            "timeout_s": self.timeout,
+            "documents": {
+                name: {"nodes": self.workspace.engine(name).tree.n}
+                for name in self.documents()
+            },
+            "mounts": {path: names for path, names in self.mounts.items()},
+            "counters": counters,
+            "prepared": prepared,
+            "caches": self.workspace.cache_info(),
+        }
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self.max_body
+                    )
+                except HttpError as exc:
+                    # The stream is unparseable past this point: answer
+                    # and drop the connection.
+                    self._bump("bad_requests")
+                    await send_response(
+                        writer, exc.status, exc.to_payload(), keep_alive=False
+                    )
+                    return
+                if request is None:
+                    return
+                self._bump("requests")
+                keep_alive = request.keep_alive
+                status, payload = await self._answer(request)
+                await send_response(
+                    writer, status, payload, keep_alive=keep_alive
+                )
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError: the loop is shutting down mid-close;
+                # the transport is torn down with it either way.
+                pass
+
+    async def _answer(self, request: Request) -> Tuple[int, dict]:
+        """Dispatch one request; every failure becomes structured JSON."""
+        try:
+            return await self._dispatch(request)
+        except HttpError as exc:
+            if exc.status == 400 and exc.kind == "bad_request":
+                self._bump("bad_requests")
+            return exc.status, exc.to_payload()
+        except XPathSyntaxError as exc:
+            # The same offset-carrying payload the CLI renders a caret
+            # from -- satellite and daemon share one error type.
+            self._bump("syntax_errors")
+            return 400, {"error": exc.to_dict()}
+        except Exception:
+            self._bump("internal_errors")
+            traceback.print_exc(file=sys.stderr)
+            return 500, {
+                "error": {
+                    "kind": "internal",
+                    "message": "internal error (see daemon log)",
+                }
+            }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (updates :attr:`port`)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain workers, release mmaps."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        self._pool.shutdown(wait=True)
+        # Workspace.close() shuts QueryService pools (none by default)
+        # and closes every store handle open_store mounted.
+        self.workspace.close()
+
+    async def run_async(self, ready=None) -> None:
+        """Start, optionally announce, and serve until cancelled/signalled."""
+        await self.start()
+        if ready is not None:
+            ready(self)
+        loop = asyncio.get_running_loop()
+        stop_event = asyncio.Event()
+        try:
+            import signal
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(sig, stop_event.set)
+        except (ImportError, NotImplementedError, RuntimeError):
+            pass  # e.g. non-main thread; callers cancel instead
+        try:
+            await stop_event.wait()
+        finally:
+            await self.stop()
+
+    def run(self, ready=None) -> None:
+        """Blocking entry point (what ``repro serve`` calls)."""
+        try:
+            asyncio.run(self.run_async(ready=ready))
+        except KeyboardInterrupt:
+            pass
+
+
+class DaemonThread:
+    """Run a :class:`QueryDaemon` on a background thread.
+
+    The harness tests and the load-generator benchmark use this to get a
+    live daemon inside one process::
+
+        with DaemonThread(QueryDaemon(store_dir)) as handle:
+            client = ServeClient(port=handle.port)
+            ...
+
+    ``start()`` returns once the daemon is accepting connections (or
+    re-raises its startup failure); ``stop()`` shuts it down cleanly
+    from the calling thread.
+    """
+
+    def __init__(self, daemon: QueryDaemon) -> None:
+        self.daemon = daemon
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> int:
+        return self.daemon.port
+
+    def start(self) -> "DaemonThread":
+        if self._thread is not None:
+            raise RuntimeError("daemon thread already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="repro-serve-daemon",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    async def _main(self) -> None:
+        try:
+            await self.daemon.start()
+        except BaseException as exc:  # surfaced to start()'s caller
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.daemon.stop()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "DaemonThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,192 @@
+"""Minimal stdlib HTTP/1.1 layer for the query daemon.
+
+Just enough of the protocol for a JSON service -- request-line +
+headers + ``Content-Length`` bodies in, JSON responses out, with
+keep-alive -- on plain :mod:`asyncio` streams.  No routing framework,
+no chunked encoding, no external dependencies; the daemon
+(:mod:`repro.serve.daemon`) does its own dispatch on ``(method, path)``.
+
+Every error path surfaces as :class:`HttpError`, whose
+:meth:`~HttpError.to_payload` is the one structured-error JSON shape the
+daemon returns (the same ``{"error": {"kind", "message", ...}}``
+envelope the CLI's structured XPath syntax errors map into).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+#: Reason phrases for the statuses the daemon actually emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_HEADERS = 64
+
+
+class HttpError(Exception):
+    """A protocol- or application-level failure with an HTTP status.
+
+    ``kind`` is a stable machine-readable discriminator (``syntax``,
+    ``bad_request``, ``unknown_document``, ``overloaded``, ``timeout``,
+    ``internal``, ...); ``extra`` carries structured detail (e.g. the
+    offset of a syntax error).
+    """
+
+    def __init__(
+        self, status: int, kind: str, message: str, extra: Optional[dict] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+        self.message = message
+        self.extra = dict(extra or {})
+
+    def to_payload(self) -> dict:
+        """The ``{"error": {...}}`` JSON envelope for this failure."""
+        error = {"kind": self.kind, "message": self.message}
+        error.update(self.extra)
+        return {"error": error}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    path: str
+    params: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> dict:
+        """The request body as a JSON object (400 on anything else)."""
+        if not self.body:
+            raise HttpError(400, "bad_request", "request body required")
+        try:
+            payload = json.loads(self.body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(
+                400, "bad_request", f"invalid JSON body: {exc}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise HttpError(
+                400, "bad_request", "request body must be a JSON object"
+            )
+        return payload
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int = 8 * 1024 * 1024
+) -> Optional[Request]:
+    """Read one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` on malformed input or oversize
+    headers/body -- callers should answer with the error payload and
+    close the connection (the stream position is unrecoverable).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "bad_request", "truncated request") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "bad_request", "request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(431, "bad_request", "request head too large")
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError):
+        raise HttpError(400, "bad_request", "malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, "bad_request", f"unsupported {version!r}")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if len(headers) >= MAX_HEADERS:
+            raise HttpError(431, "bad_request", "too many headers")
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, "bad_request", f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(
+                400, "bad_request", "malformed Content-Length"
+            ) from None
+        if length < 0:
+            raise HttpError(400, "bad_request", "malformed Content-Length")
+        if length > max_body:
+            raise HttpError(
+                413, "bad_request", f"body exceeds {max_body} bytes"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "bad_request", "truncated body") from None
+    elif headers.get("transfer-encoding"):
+        raise HttpError(
+            400, "bad_request", "chunked request bodies are not supported"
+        )
+    split = urlsplit(target)
+    params = dict(parse_qsl(split.query, keep_blank_values=True))
+    return Request(
+        method=method.upper(),
+        target=target,
+        path=split.path or "/",
+        params=params,
+        headers=headers,
+        body=body,
+    )
+
+
+def encode_response(
+    status: int, payload: dict, *, keep_alive: bool = True
+) -> bytes:
+    """Serialize one JSON response, headers and all."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+async def send_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict,
+    *,
+    keep_alive: bool = True,
+) -> None:
+    writer.write(encode_response(status, payload, keep_alive=keep_alive))
+    await writer.drain()

@@ -60,7 +60,12 @@ class StoredDocument:
         self.path = path
         self.header = header
         self.index = index
+        self.closed = False
         self._succinct: Optional[SuccinctTree] = None
+        # Memory-mapped arrays this document opened; close() releases
+        # their OS mappings (a long-lived daemon unmounting a corpus
+        # must not leak map handles until garbage collection).
+        self._mapped: List[np.ndarray] = []
 
     @property
     def tree(self) -> BinaryTree:
@@ -76,27 +81,81 @@ class StoredDocument:
 
     def succinct(self) -> SuccinctTree:
         """The document's BP tree, rehydrated from the mapped state."""
+        if self.closed:
+            raise StoreError(f"document {self.path!r} is closed")
         if self._succinct is None:
             header = self.header
             mmap = header.get("_mmap", True)
             manifest = header["arrays"]
+
+            def load(name: str) -> np.ndarray:
+                arr = load_array(self.path, name, manifest, mmap)
+                if mmap:
+                    self._mapped.append(arr)
+                return arr
+
             bv = BitVector.from_state(
-                load_array(self.path, "bp_packed", manifest, mmap),
+                load("bp_packed"),
                 header["bp_bits"],
-                load_array(self.path, "bp_word_prefix", manifest, mmap),
-                load_array(self.path, "bp_zero_word_prefix", manifest, mmap),
+                load("bp_word_prefix"),
+                load("bp_zero_word_prefix"),
             )
             tree = self.index.tree
             self._succinct = SuccinctTree.from_state(
                 bv,
                 tree.label_of,
                 tree.labels,
-                load_array(self.path, "bp_block_total", manifest, mmap),
-                load_array(self.path, "bp_block_min", manifest, mmap),
-                load_array(self.path, "bp_block_max", manifest, mmap),
-                load_array(self.path, "bp_block_start_excess", manifest, mmap),
+                load("bp_block_total"),
+                load("bp_block_min"),
+                load("bp_block_max"),
+                load("bp_block_start_excess"),
             )
         return self._succinct
+
+    def close(self) -> None:
+        """Release the document's memory-mapped array handles (idempotent).
+
+        Drops this object's own references (index, succinct view) and
+        then closes the underlying ``mmap`` objects.  A mapping whose
+        pages are still exported by a live ndarray elsewhere (an engine
+        still holding the index, a cached slice) cannot be closed by the
+        OS yet -- those are retried after a garbage-collection pass and,
+        if still pinned, left for the final reference drop to unmap.
+        After ``close()`` the document must not be used.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        mapped, self._mapped = self._mapped, []
+        self.index = None
+        self._succinct = None
+        leftover = []
+        while mapped:
+            arr = mapped.pop()
+            mm = getattr(arr, "_mmap", None)
+            del arr  # the ndarray pins an export on its mmap
+            if mm is not None and not getattr(mm, "closed", True):
+                leftover.append(mm)
+        for retry in (False, True):
+            if not leftover:
+                break
+            if retry:
+                import gc
+
+                gc.collect()
+            still = []
+            for mm in leftover:
+                try:
+                    mm.close()
+                except (BufferError, ValueError):
+                    still.append(mm)
+            leftover = still
+
+    def __enter__(self) -> "StoredDocument":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def __reduce__(self):
         # Reopening by path keeps the pickle a few bytes; the original
@@ -254,7 +313,13 @@ def open_document(path: str, *, mmap: bool = True) -> StoredDocument:
     """
     header = read_header(path)
     manifest = header["arrays"]
-    load = lambda name: load_array(path, name, manifest, mmap)  # noqa: E731
+    mapped: List[np.ndarray] = []
+
+    def load(name: str) -> np.ndarray:
+        arr = load_array(path, name, manifest, mmap)
+        if mmap:
+            mapped.append(arr)
+        return arr
 
     labels = list(header["labels"])
     label_of_arr = load("label_of")
@@ -302,7 +367,9 @@ def open_document(path: str, *, mmap: bool = True) -> StoredDocument:
         # themselves instead of a path that may no longer resolve.
         index.store_path = os.path.abspath(path)
     header["_mmap"] = mmap
-    return StoredDocument(os.path.abspath(path), header, index)
+    document = StoredDocument(os.path.abspath(path), header, index)
+    document._mapped.extend(mapped)
+    return document
 
 
 class DocumentStore:

@@ -22,7 +22,53 @@ from repro.xpath.ast import Axis, Path, Pred, PredAnd, PredNot, PredOr, PredPath
 
 
 class XPathSyntaxError(ValueError):
-    """Raised on malformed query strings."""
+    """Raised on malformed query strings.
+
+    Structured: :attr:`offset` is the character position the parse
+    failed at (``None`` only for errors with no single position) and
+    :attr:`query` the offending query string, so callers -- the CLI and
+    the ``repro serve`` daemon's 400 responses -- can point *into* the
+    query instead of dumping a traceback.  :meth:`to_dict` is the one
+    JSON shape both reuse.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        offset: Optional[int] = None,
+        query: Optional[str] = None,
+    ) -> None:
+        self.message = message
+        self.offset = offset
+        self.query = query
+        if offset is not None:
+            message = f"{message} (offset {offset})"
+        super().__init__(message)
+
+    def to_dict(self) -> dict:
+        """The structured-error payload (shared by CLI and daemon)."""
+        out = {"kind": "syntax", "message": self.message}
+        if self.offset is not None:
+            out["offset"] = self.offset
+        if self.query is not None:
+            out["query"] = self.query
+        return out
+
+    def describe(self) -> str:
+        """Multi-line rendering with a caret under the failure offset::
+
+            syntax error: expected ']', got '(' (offset 5)
+              //a[b(
+                   ^
+        """
+        head = f"syntax error: {self.message}"
+        if self.offset is None:
+            return head
+        head = f"{head} (offset {self.offset})"
+        if self.query is None:
+            return head
+        return f"{head}\n  {self.query}\n  {' ' * self.offset}^"
 
 
 _NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
@@ -32,12 +78,19 @@ _AXES = {axis.value: axis for axis in Axis}
 
 
 class _Lexer:
-    """Produces a token list: names, punctuation, keywords."""
+    """Produces a token list: names, punctuation, keywords.
+
+    Each token's character offset into the query text is recorded in
+    the parallel :attr:`offsets` list, so parse errors can point at the
+    exact position they arose from.
+    """
 
     PUNCT = ["//", "/", "::", "[", "]", "(", ")", "*", "@", "..", "."]
 
     def __init__(self, text: str) -> None:
+        self.text = text
         self.tokens: List[str] = []
+        self.offsets: List[int] = []
         i, n = 0, len(text)
         while i < n:
             ch = text[i]
@@ -50,6 +103,7 @@ class _Lexer:
                     # Avoid splitting names containing '.' is moot: names
                     # cannot contain '.', so '.' is always punctuation.
                     self.tokens.append(p)
+                    self.offsets.append(i)
                     i += len(p)
                     matched = True
                     break
@@ -60,14 +114,19 @@ class _Lexer:
                 while j < n and text[j] in _NAME_CHARS:
                     j += 1
                 self.tokens.append(text[i:j])
+                self.offsets.append(i)
                 i = j
                 continue
-            raise XPathSyntaxError(f"unexpected character {ch!r} at offset {i}")
+            raise XPathSyntaxError(
+                f"unexpected character {ch!r}", offset=i, query=text
+            )
 
 
 class _Parser:
-    def __init__(self, tokens: List[str]) -> None:
-        self.tokens = tokens
+    def __init__(self, lexer: _Lexer) -> None:
+        self.text = lexer.text
+        self.tokens = lexer.tokens
+        self.offsets = lexer.offsets
         self.pos = 0
 
     # -- token helpers --------------------------------------------------------
@@ -76,17 +135,31 @@ class _Parser:
         i = self.pos + offset
         return self.tokens[i] if i < len(self.tokens) else None
 
+    def _at(self, pos: Optional[int] = None) -> int:
+        """Character offset of the token at ``pos`` (default: current),
+        or the end of the text once the tokens run out."""
+        i = self.pos if pos is None else pos
+        return self.offsets[i] if i < len(self.offsets) else len(self.text)
+
+    def error(self, message: str, *, at: Optional[int] = None) -> XPathSyntaxError:
+        return XPathSyntaxError(
+            message,
+            offset=self._at() if at is None else at,
+            query=self.text,
+        )
+
     def take(self) -> str:
         if self.pos >= len(self.tokens):
-            raise XPathSyntaxError("unexpected end of query")
+            raise self.error("unexpected end of query")
         tok = self.tokens[self.pos]
         self.pos += 1
         return tok
 
     def expect(self, tok: str) -> None:
+        at = self._at()
         got = self.take()
         if got != tok:
-            raise XPathSyntaxError(f"expected {tok!r}, got {got!r}")
+            raise self.error(f"expected {tok!r}, got {got!r}", at=at)
 
     def at_end(self) -> bool:
         return self.pos >= len(self.tokens)
@@ -96,7 +169,7 @@ class _Parser:
     def parse_query(self) -> Path:
         path = self.parse_path()
         if not self.at_end():
-            raise XPathSyntaxError(f"trailing tokens from {self.peek()!r}")
+            raise self.error(f"trailing tokens from {self.peek()!r}")
         return path
 
     def parse_path(self) -> Path:
@@ -131,7 +204,7 @@ class _Parser:
         tok = self.peek()
         if tok == "..":
             if descendant:
-                raise XPathSyntaxError("'..' cannot follow '//'")
+                raise self.error("'..' cannot follow '//'")
             self.take()
             return Step(Axis.PARENT, "node()", None)
         if tok == "@":
@@ -140,7 +213,7 @@ class _Parser:
             test = self.parse_node_test()
         elif tok in _AXES and self.peek(1) == "::":
             if descendant:
-                raise XPathSyntaxError(
+                raise self.error(
                     "explicit axis cannot follow '//' (write /axis::test)"
                 )
             self.take()
@@ -158,6 +231,7 @@ class _Parser:
         return Step(axis, test, pred)
 
     def parse_node_test(self) -> str:
+        at = self._at()
         tok = self.take()
         if tok == "*":
             return "*"
@@ -166,7 +240,7 @@ class _Parser:
             self.expect(")")
             return f"{tok}()"
         if tok in ("//", "/", "[", "]", "(", ")", "::", "@", "."):
-            raise XPathSyntaxError(f"expected a node test, got {tok!r}")
+            raise self.error(f"expected a node test, got {tok!r}", at=at)
         return tok
 
     # predicates: 'or' < 'and' < unary
@@ -205,8 +279,11 @@ class _Parser:
 def parse_xpath(query: str) -> Path:
     """Parse a query string into a :class:`~repro.xpath.ast.Path`.
 
+    Malformed queries raise :class:`XPathSyntaxError` carrying the
+    failure offset and the query text (see its ``to_dict``/``describe``).
+
     >>> p = parse_xpath("//a//b[c]")
     >>> len(p.steps), p.absolute
     (2, True)
     """
-    return _Parser(_Lexer(query).tokens).parse_query()
+    return _Parser(_Lexer(query)).parse_query()

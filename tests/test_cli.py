@@ -261,3 +261,100 @@ class TestStoreCLI:
         assert code == 0
         payload = json.loads(capsys.readouterr().err)
         assert payload["store"].endswith("bundle")
+
+
+class TestStructuredSyntaxErrors:
+    def test_caret_rendering_on_stderr(self, xml_file, capsys):
+        code, _ = run(["//a[b(", xml_file])
+        assert code == 1
+        err = capsys.readouterr().err
+        lines = err.splitlines()
+        assert lines[0].startswith("syntax error:")
+        assert "(offset 5)" in lines[0]
+        assert lines[1] == "  //a[b("
+        assert lines[2] == "  " + " " * 5 + "^"
+
+    def test_non_syntax_errors_keep_plain_format(self, tmp_path, capsys):
+        path = tmp_path / "bad.xml"
+        path.write_text("<a><b></a>")
+        code, _ = run(["//a", str(path)])
+        assert code == 1
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_batch_surfaces_caret_too(self, xml_file, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("//a[\n")
+        code, _ = run(["batch", "--queries", str(queries), xml_file])
+        assert code == 1
+        assert "syntax error:" in capsys.readouterr().err
+
+
+class TestStoreLsStats:
+    def test_ls_reports_persisted_document_stats(self, xml_file, tmp_path):
+        bundle = str(tmp_path / "bundle")
+        code, _ = run(["store", "build", bundle, xml_file])
+        assert code == 0
+        code, out = run(["store", "ls", bundle])
+        assert code == 0
+        entry = json.loads(out)[0]
+        assert entry["nodes"] == 4
+        assert entry["height"] == 2
+        assert entry["bytes"] > 0
+
+
+class TestServeParsers:
+    """Argument wiring for `repro serve` / `repro client` (the live
+    daemon round trip is covered by tests/test_serve.py and the bench)."""
+
+    def test_serve_requires_store(self, capsys):
+        with pytest.raises(SystemExit):
+            run(["serve"])
+
+    def test_serve_rejects_missing_store(self, tmp_path):
+        code, _ = run(["serve", "--store", str(tmp_path / "nope")])
+        assert code == 1
+
+    def test_client_query_against_live_daemon(self, xml_file, tmp_path):
+        import threading
+
+        from repro.serve import DaemonThread, QueryDaemon
+
+        bundle_root = str(tmp_path / "corpus")
+        code, _ = run(["store", "build", bundle_root + "/doc", xml_file])
+        assert code == 0
+        with DaemonThread(QueryDaemon(bundle_root)) as handle:
+            port = str(handle.port)
+            code, out = run(
+                ["client", "--port", port, "query", "//a/b", "--format", "csv"]
+            )
+            assert code == 0
+            assert out.splitlines() == ["id", "2"]
+            code, out = run(
+                ["client", "--port", port, "stats", "--format", "json"]
+            )
+            assert code == 0
+            assert json.loads(out)["counters"]["queries"] == 1
+
+    def test_client_syntax_error_renders_caret(self, xml_file, tmp_path, capsys):
+        from repro.serve import DaemonThread, QueryDaemon
+
+        bundle_root = str(tmp_path / "corpus")
+        run(["store", "build", bundle_root + "/doc", xml_file])
+        with DaemonThread(QueryDaemon(bundle_root)) as handle:
+            code, _ = run(
+                ["client", "--port", str(handle.port), "query", "//a["]
+            )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "syntax error:" in err and "^" in err
+
+    def test_client_connection_refused_is_an_error(self, capsys):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nothing listening here now
+        code, _ = run(["client", "--port", str(port), "health"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -383,3 +383,97 @@ class TestReviewRegressions:
         save_document("<r><a><b/></a></r>", first)
         save_document(open_document(first), second)
         assert Engine(open_document(second)).select("//b") == [2]
+
+
+class TestStoredDocumentClose:
+    def test_close_releases_mapped_arrays(self, tmp_path):
+        stored = _roundtrip(tmp_path, "<r><a><b/></a></r>")
+        mmaps = [
+            arr._mmap
+            for arr in stored._mapped
+            if getattr(arr, "_mmap", None) is not None
+        ]
+        assert mmaps  # the bundle really was mmapped
+        stored.close()
+        assert stored.closed
+        assert all(mm.closed for mm in mmaps)
+
+    def test_close_is_idempotent(self, tmp_path):
+        stored = _roundtrip(tmp_path, "<r><a/></r>")
+        stored.close()
+        stored.close()
+        assert stored.closed
+
+    def test_closed_document_refuses_queries(self, tmp_path):
+        stored = _roundtrip(tmp_path, "<r><a/></r>")
+        stored.close()
+        with pytest.raises(StoreError, match="closed"):
+            stored.succinct()
+
+    def test_context_manager_closes(self, tmp_path):
+        with _roundtrip(tmp_path, "<r><a/></r>") as stored:
+            assert Engine(stored).select("//a") == [1]
+        assert stored.closed
+
+    def test_materialized_open_close_is_a_noop(self, tmp_path):
+        bundle = os.path.join(str(tmp_path), "doc")
+        save_document("<r><a/></r>", bundle)
+        stored = open_document(bundle, mmap=False)
+        stored.close()  # nothing mapped, still fine
+        assert stored.closed
+
+
+class TestWorkspaceClose:
+    def test_close_releases_store_handles(self, tmp_path):
+        ws = Workspace()
+        ws.add("doc", "<r><a><b/></a></r>")
+        ws.save(str(tmp_path))
+        ws.close()
+
+        ws2 = Workspace()
+        ws2.open_store(str(tmp_path))
+        stored = ws2._stored["doc"]
+        mmaps = [
+            arr._mmap
+            for arr in stored._mapped
+            if getattr(arr, "_mmap", None) is not None
+        ]
+        assert ws2.select("//b", document="doc") == [2]
+        ws2.close()
+        assert stored.closed
+        assert all(mm.closed for mm in mmaps)
+        assert ws2.documents() == []
+
+    def test_context_manager(self, tmp_path):
+        ws = Workspace()
+        ws.add("doc", "<r><a/></r>")
+        ws.save(str(tmp_path))
+        ws.close()
+        with Workspace() as ws2:
+            ws2.open_store(str(tmp_path))
+            stored = ws2._stored["doc"]
+            assert ws2.select("//a", document="doc") == [1]
+        assert stored.closed
+
+    def test_remove_closes_stored_document(self, tmp_path):
+        ws = Workspace()
+        ws.add("doc", "<r><a/></r>")
+        ws.save(str(tmp_path))
+        ws.close()
+        ws2 = Workspace()
+        ws2.open_store(str(tmp_path))
+        stored = ws2._stored["doc"]
+        ws2.remove("doc")
+        assert stored.closed
+        assert "doc" not in ws2._stored
+        ws2.close()
+
+    def test_added_documents_are_caller_owned(self, tmp_path):
+        stored = _roundtrip(tmp_path, "<r><a/></r>")
+        ws = Workspace()
+        ws.add("doc", stored)
+        ws.close()
+        # add()-ed documents are the caller's to close.
+        assert not stored.closed
+        assert Engine(stored).select("//a") == [1]
+        stored.close()

@@ -154,3 +154,52 @@ class TestErrors:
             p = parse_xpath(q)
             again = parse_xpath(str(p))
             assert str(again) == str(p)
+
+
+class TestStructuredErrors:
+    """Syntax errors carry a machine-readable offset and render a caret."""
+
+    @pytest.mark.parametrize(
+        "text, offset",
+        [
+            ("/a[", 3),
+            ("//a[", 4),
+            ("/a]", 2),
+            ("/a[b or]", 7),
+            ("/$x", 1),
+            ("a b", 2),
+        ],
+    )
+    def test_offset_points_at_the_failure(self, text, offset):
+        with pytest.raises(XPathSyntaxError) as excinfo:
+            parse_xpath(text)
+        assert excinfo.value.offset == offset
+        assert excinfo.value.query == text
+
+    def test_offset_appears_in_str(self):
+        with pytest.raises(XPathSyntaxError) as excinfo:
+            parse_xpath("//a[b(")
+        assert "(offset 5)" in str(excinfo.value)
+
+    def test_to_dict_is_the_daemon_error_payload(self):
+        with pytest.raises(XPathSyntaxError) as excinfo:
+            parse_xpath("//a[b(")
+        payload = excinfo.value.to_dict()
+        assert payload["kind"] == "syntax"
+        assert payload["offset"] == 5
+        assert payload["query"] == "//a[b("
+        assert "expected" in payload["message"]
+
+    def test_describe_renders_a_caret(self):
+        with pytest.raises(XPathSyntaxError) as excinfo:
+            parse_xpath("//a[b(")
+        lines = excinfo.value.describe().splitlines()
+        assert lines[0].startswith("syntax error:")
+        assert lines[1] == "  //a[b("
+        assert lines[2] == "  " + " " * 5 + "^"
+
+    def test_error_without_context_still_renders(self):
+        err = XPathSyntaxError("boom")
+        assert err.offset is None
+        assert err.describe() == "syntax error: boom"
+        assert err.to_dict() == {"kind": "syntax", "message": "boom"}
