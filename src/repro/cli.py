@@ -227,6 +227,26 @@ def build_store_parser() -> argparse.ArgumentParser:
     )
     ls.add_argument("path", help="a bundle, or a directory of bundles")
 
+    verify = sub.add_parser(
+        "verify",
+        help=(
+            "integrity-check a bundle or corpus: fast mode checks "
+            "header/manifest/file sizes, --deep recomputes per-array "
+            "CRC32 digests"
+        ),
+    )
+    verify.add_argument("path", help="a bundle, or a directory of bundles")
+    verify.add_argument(
+        "--deep",
+        action="store_true",
+        help="recompute every array file's CRC32 against the manifest",
+    )
+    verify.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full verification report as JSON",
+    )
+
     query = sub.add_parser("query", help="run a query on a reopened bundle")
     query.add_argument("query", help="an XPath query")
     query.add_argument("path", help="the bundle directory")
@@ -287,12 +307,14 @@ def store_main(argv: List[str], out) -> int:
     import os
 
     from repro.store import (
+        StoreCorruptionError,
         StoreError,
         open_document,
         read_header,
         bundle_names,
         is_bundle,
         save_document,
+        verify_document,
     )
 
     parser = build_store_parser()
@@ -361,15 +383,89 @@ def store_main(argv: List[str], out) -> int:
                 return 1
             listing = []
             for name, path in bundles:
-                summary = _bundle_summary(path, read_header(path))
+                # An unreadable entry (junk from a crashed tool, a
+                # mangled header) must not hide the healthy rest of the
+                # corpus: warn and keep listing.
+                try:
+                    summary = _bundle_summary(path, read_header(path))
+                except (StoreError, OSError) as exc:
+                    print(
+                        f"warning: skipping {path!r}: {exc}", file=sys.stderr
+                    )
+                    continue
                 if name:
                     summary["name"] = name
                 listing.append(summary)
-        except (StoreError, OSError) as exc:
+            if not listing:
+                print(
+                    f"error: no readable bundles in {args.path!r}",
+                    file=sys.stderr,
+                )
+                return 1
+        except OSError as exc:
             _report_error(exc)
             return 1
         print(json.dumps(listing, sort_keys=True), file=out)
         return 0
+
+    if args.cmd == "verify":
+        if is_bundle(args.path):
+            targets = [("", args.path)]
+        else:
+            targets = [
+                (name, os.path.join(args.path, name))
+                for name in bundle_names(args.path)
+            ]
+            if not targets:
+                print(f"error: no bundles in {args.path!r}", file=sys.stderr)
+                return 1
+        reports = []
+        failures = 0
+        for name, path in targets:
+            entry = {"name": name or os.path.basename(path.rstrip(os.sep))}
+            try:
+                entry.update(verify_document(path, deep=args.deep))
+            except StoreError as exc:
+                failures += 1
+                entry.update(
+                    path=path,
+                    mode="deep" if args.deep else "fast",
+                    ok=False,
+                    error=(
+                        exc.to_dict()
+                        if isinstance(exc, StoreCorruptionError)
+                        else {"reason": str(exc)}
+                    ),
+                )
+            reports.append(entry)
+        if args.json:
+            print(json.dumps(reports, sort_keys=True), file=out)
+        else:
+            for entry in reports:
+                if entry["ok"]:
+                    size = sum(a["bytes"] for a in entry["arrays"].values())
+                    detail = (
+                        f"{len(entry['arrays'])} arrays, {size} bytes"
+                        f"{'' if entry['checksums'] else ', no digests (v1)'}"
+                    )
+                    print(f"{entry['name'] or entry['path']}: ok "
+                          f"[{entry['mode']}] ({detail})", file=out)
+                else:
+                    reason = entry["error"].get("reason", "unknown")
+                    where = entry["error"].get("array")
+                    at = f" array {where!r}" if where else ""
+                    print(
+                        f"{entry['name'] or entry['path']}: CORRUPT"
+                        f"{at}: {reason}",
+                        file=out,
+                    )
+        if failures:
+            print(
+                f"error: {failures} of {len(reports)} bundle(s) failed "
+                f"{'deep' if args.deep else 'fast'} verification",
+                file=sys.stderr,
+            )
+        return 1 if failures else 0
 
     # query
     try:
@@ -534,6 +630,17 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="read the corpus arrays into memory instead of mapping them",
     )
+    parser.add_argument(
+        "--fail-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "quarantine a document after N consecutive failed "
+            "evaluations, 0 disables (default: "
+            "$REPRO_SERVE_FAIL_THRESHOLD or 3)"
+        ),
+    )
     return parser
 
 
@@ -553,6 +660,11 @@ def serve_main(argv: List[str], out) -> int:
             host=args.host,
             port=args.port,
             mmap=not args.no_mmap,
+            **(
+                {"fail_threshold": args.fail_threshold}
+                if args.fail_threshold is not None
+                else {}
+            ),
         )
     except (ValueError, StoreError, OSError) as exc:
         _report_error(exc)
@@ -591,6 +703,25 @@ def build_client_parser() -> argparse.ArgumentParser:
     parser.add_argument("--host", default="127.0.0.1", help="daemon host")
     parser.add_argument(
         "--port", type=int, default=8726, help="daemon port (default 8726)"
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help=(
+            "retry budget for connection errors and 429/503 responses "
+            "(default 2; 0 fails fast)"
+        ),
+    )
+    parser.add_argument(
+        "--backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help=(
+            "base retry backoff, doubled per attempt with seeded "
+            "jitter (default 0.05)"
+        ),
     )
     sub = parser.add_subparsers(dest="cmd", required=True)
 
@@ -644,7 +775,13 @@ def client_main(argv: List[str], out) -> int:
 
     parser = build_client_parser()
     args = parser.parse_args(argv)
-    client = ServeClient(args.host, args.port)
+    try:
+        client = ServeClient(
+            args.host, args.port, retries=args.retries, backoff_s=args.backoff
+        )
+    except ValueError as exc:
+        _report_error(exc)
+        return 1
     try:
         if args.cmd == "query":
             payload = client.query(

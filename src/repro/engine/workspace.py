@@ -84,6 +84,20 @@ class Workspace:
         self._invalidate_services(name)
         return engine
 
+    def add_stored(self, name: str, document: "StoredDocument") -> Engine:
+        """Register an already-opened store document, adopting its handles.
+
+        Unlike :meth:`add`, the workspace takes ownership: the
+        document's mmap handles are released on :meth:`remove` /
+        :meth:`close`, exactly as for documents mounted via
+        :meth:`open_store`.  This is the building block callers use to
+        mount a corpus bundle-by-bundle with their own per-document
+        error policy (e.g. the serve daemon skipping corrupt bundles).
+        """
+        engine = self.add(name, document)
+        self._stored[name] = document
+        return engine
+
     def remove(self, name: str) -> None:
         """Drop a document (compiled queries stay cached for the rest).
 
@@ -148,9 +162,7 @@ class Workspace:
             raise ValueError(f"no document bundles in {path!r}")
         registered: List[str] = []
         for name in wanted:
-            document = store.open(name, mmap=mmap)
-            self.add(name, document)
-            self._stored[name] = document
+            self.add_stored(name, store.open(name, mmap=mmap))
             registered.append(name)
         return registered
 

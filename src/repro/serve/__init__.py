@@ -8,9 +8,15 @@ The package turns the single-shot library into a long-running system:
   :class:`~repro.engine.plan.PreparedQuery` / planner state hot across
   requests, behind a stdlib-only asyncio HTTP/JSON front
   (:mod:`repro.serve.http`) with a bounded worker pool, admission
-  control, and per-request timeouts.
+  control, and per-request timeouts.  It self-heals: corrupt bundles
+  are skipped at mount, a failing strategy retries once on the
+  reference path, repeatedly failing documents are quarantined behind
+  structured 503s (``/healthz`` reports ``degraded``), and shutdown is
+  a graceful drain.
 - :class:`~repro.serve.client.ServeClient` is the matching stdlib
-  client (``repro client query/batch/stats`` in the CLI).
+  client (``repro client query/batch/stats`` in the CLI), with an
+  exponential-backoff retry budget (seeded jitter) on connection
+  errors, 429 and 503.
 - :class:`~repro.serve.daemon.DaemonThread` runs a daemon on a
   background thread for tests and benchmarks.
 """

@@ -1,10 +1,23 @@
 """Stdlib client for the query daemon (and the ``repro client`` CLI).
 
 :class:`ServeClient` speaks the daemon's HTTP/JSON protocol over a
-persistent keep-alive :class:`http.client.HTTPConnection` (re-opened
-transparently if the server or an idle timeout dropped it -- queries are
-idempotent, so a single retry is safe).  Error responses raise
-:class:`ServeError` carrying the daemon's structured payload.
+persistent keep-alive :class:`http.client.HTTPConnection`.  Error
+responses raise :class:`ServeError` carrying the daemon's structured
+payload.
+
+Retry policy
+------------
+
+Every endpoint the daemon exposes is a read (idempotent), so transient
+failures are safely retried: connection errors (daemon restarting, a
+dropped keep-alive socket), ``429 overloaded`` and ``503`` (quarantine
+lifting, a drain on one replica) are re-attempted up to ``retries``
+times with exponential backoff -- ``backoff_s * 2**attempt`` capped at
+``backoff_max_s`` -- multiplied by *seeded* jitter in ``[0.5, 1.5)``
+(a fleet of clients with distinct seeds de-synchronizes; a test with a
+fixed seed replays exact delays).  Any other error, and any response at
+all from a non-idempotent future endpoint, is surfaced immediately.
+``retries=0`` restores fail-fast behaviour.
 
 :func:`format_rows` renders result rows as an aligned plain-text table,
 CSV, or JSON -- the same three output modes for every ``repro client``
@@ -17,8 +30,14 @@ import csv
 import http.client
 import io
 import json
+import random
+import time
 from typing import Any, Dict, List, Optional
 from urllib.parse import urlencode
+
+#: HTTP statuses worth retrying for an idempotent request: transient
+#: overload/unavailability, not client or evaluation errors.
+RETRY_STATUSES = (429, 503)
 
 
 class ServeError(Exception):
@@ -42,13 +61,33 @@ class ServeClient:
         port: int = 8726,
         *,
         timeout: float = 60.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        retry_seed: Optional[int] = None,
     ) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self._rng = random.Random(
+            retry_seed if retry_seed is not None else hash((host, port))
+        )
         self._conn: Optional[http.client.HTTPConnection] = None
+        #: Seam for tests (and callers embedding the client in an event
+        #: loop) to observe or replace the backoff sleeps.
+        self._sleep = time.sleep
 
     # -- transport -----------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> float:
+        """The jittered delay before retry ``attempt`` (0-based)."""
+        base = min(self.backoff_max_s, self.backoff_s * (2.0**attempt))
+        return base * (0.5 + self._rng.random())
 
     def close(self) -> None:
         conn, self._conn = self._conn, None
@@ -68,6 +107,7 @@ class ServeClient:
         *,
         body: Optional[dict] = None,
         params: Optional[Dict[str, str]] = None,
+        idempotent: bool = True,
     ) -> dict:
         if params:
             path = f"{path}?{urlencode(params)}"
@@ -76,8 +116,11 @@ class ServeClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        attempts = (self.retries + 1) if idempotent else 1
         last_error: Optional[Exception] = None
-        for attempt in (0, 1):
+        for attempt in range(attempts):
+            if attempt:
+                self._sleep(self._backoff(attempt - 1))
             if self._conn is None:
                 self._conn = http.client.HTTPConnection(
                     self.host, self.port, timeout=self.timeout
@@ -86,25 +129,36 @@ class ServeClient:
                 self._conn.request(method, path, body=data, headers=headers)
                 response = self._conn.getresponse()
                 raw = response.read()
-                break
             except (ConnectionError, http.client.HTTPException, OSError) as exc:
-                # A dropped keep-alive connection: reconnect once.
+                # Daemon unreachable, restarting, or it dropped the
+                # keep-alive socket: reconnect and (maybe) retry.
                 self.close()
                 last_error = exc
-        else:
-            raise ConnectionError(
-                f"cannot reach daemon at {self.host}:{self.port}: {last_error}"
-            ) from last_error
-        try:
-            payload = json.loads(raw)
-        except ValueError:
-            raise ServeError(
-                response.status,
-                {"error": {"kind": "protocol", "message": raw[:200].decode("utf-8", "replace")}},
-            ) from None
-        if response.status >= 400:
-            raise ServeError(response.status, payload)
-        return payload
+                continue
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                raise ServeError(
+                    response.status,
+                    {
+                        "error": {
+                            "kind": "protocol",
+                            "message": raw[:200].decode("utf-8", "replace"),
+                        }
+                    },
+                ) from None
+            if response.status in RETRY_STATUSES and attempt < attempts - 1:
+                last_error = ServeError(response.status, payload)
+                continue
+            if response.status >= 400:
+                raise ServeError(response.status, payload)
+            return payload
+        if isinstance(last_error, ServeError):
+            raise last_error
+        raise ConnectionError(
+            f"cannot reach daemon at {self.host}:{self.port} "
+            f"after {attempts} attempt(s): {last_error}"
+        ) from last_error
 
     # -- endpoints -----------------------------------------------------------
 

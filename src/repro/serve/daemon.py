@@ -40,12 +40,42 @@ Endpoints
 - ``POST /query``  -- one query: ``{"query": ..., "document": ...}``
 - ``POST /batch``  -- a list of queries, one admission slot
 - ``GET /explain`` -- resolved strategy + planner verdict for a query
-- ``GET /stats``   -- daemon counters, admission state, cache statistics
-- ``GET /healthz`` -- liveness + mounted documents
+- ``GET /stats``   -- daemon counters, admission state, cache statistics,
+  error rates, quarantine/skip state
+- ``GET /healthz`` -- liveness + mounted documents + degraded status
 
 Errors are structured JSON (``{"error": {"kind", "message", ...}}``);
 malformed XPath answers ``400`` with the parser's offset-carrying
 payload (:meth:`repro.xpath.parser.XPathSyntaxError.to_dict`).
+
+Self-healing
+------------
+
+A production daemon must degrade, not die.  Three layers:
+
+- **Mount-time skip.**  A corrupt bundle (truncated array, mangled
+  header -- anything :func:`repro.store.open_document` rejects) is
+  skipped with a stderr warning and recorded under ``skipped`` in
+  ``/healthz``/``/stats``; the rest of the corpus serves.  Startup only
+  fails when *no* bundle is usable (or on a genuine configuration
+  error, e.g. duplicate names).
+- **One-shot strategy fallback.**  An unexpected exception during
+  evaluation (a strategy bug, injected or real) retries the request
+  once on the ``naive`` reference path before failing; a fallback
+  answer is correct by construction (the oracle every other strategy
+  is differential-tested against) and the response carries
+  ``"fallback": "naive"``.
+- **Per-document quarantine.**  ``fail_threshold`` *consecutive*
+  ultimately-failed evaluations (fallback included) quarantine the
+  document: further requests answer a structured ``503 quarantined``
+  without touching the engine, ``/healthz`` flips to ``degraded`` with
+  the quarantine list, and healthy documents keep serving.  Any
+  successfully answered request resets its document's failure streak.
+
+Shutdown (SIGTERM/SIGINT, or :meth:`QueryDaemon.stop`) is a graceful
+drain: stop accepting, let in-flight requests finish or hit their own
+``504`` budgets, close idle keep-alive connections, then release the
+worker pool and every mmap handle.
 """
 
 from __future__ import annotations
@@ -60,10 +90,12 @@ from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import faults
 from repro.engine import registry
 from repro.engine.planner import planner_fields
 from repro.engine.workspace import Workspace
 from repro.serve.http import HttpError, Request, read_request, send_response
+from repro.store import DocumentStore, StoreError
 from repro.xpath.parser import XPathSyntaxError
 
 #: Default admission queue depth beyond the worker threads.
@@ -72,6 +104,13 @@ QUEUE_DEPTH = int(os.environ.get("REPRO_SERVE_QUEUE_DEPTH", "16"))
 TIMEOUT_S = float(os.environ.get("REPRO_SERVE_TIMEOUT_S", "30"))
 #: Bound on the daemon's (document, query, strategy) -> plan map.
 PREPARED_CACHE_SIZE = int(os.environ.get("REPRO_SERVE_PREPARED_CACHE", "1024"))
+#: Consecutive ultimately-failed evaluations before a document is
+#: quarantined (0 disables quarantine).
+FAIL_THRESHOLD = int(os.environ.get("REPRO_SERVE_FAIL_THRESHOLD", "3"))
+#: The strategy a failed evaluation is retried on, once, before giving
+#: up -- the reference oracle every fast path is differential-tested
+#: against.
+FALLBACK_STRATEGY = "naive"
 
 
 class QueryDaemon:
@@ -94,10 +133,15 @@ class QueryDaemon:
         new ones are refused with 429.
     timeout:
         Per-request wall-clock budget in seconds; requests may lower
-        (never raise) it per call via ``"timeout_s"``.
+        (never raise) it per call via ``"timeout_s"``.  Also the
+        default graceful-drain budget on shutdown.
     host / port:
         Bind address.  ``port=0`` picks a free port; :attr:`port` holds
         the bound one after :meth:`start`.
+    fail_threshold:
+        Consecutive ultimately-failed evaluations (the reference-path
+        retry included) before a document is quarantined; ``0``
+        disables quarantine.
     """
 
     def __init__(
@@ -113,6 +157,7 @@ class QueryDaemon:
         mmap: bool = True,
         max_body: int = 8 * 1024 * 1024,
         prepared_cache_size: int = PREPARED_CACHE_SIZE,
+        fail_threshold: int = FAIL_THRESHOLD,
     ) -> None:
         if isinstance(stores, str):
             stores = [stores]
@@ -128,13 +173,54 @@ class QueryDaemon:
         self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
         self.queue_depth = queue_depth
         self.admission_limit = self.workers + self.queue_depth
+        if fail_threshold < 0:
+            raise ValueError(
+                f"fail_threshold must be >= 0, got {fail_threshold}"
+            )
         self.max_body = max_body
         self.prepared_cache_size = prepared_cache_size
+        self.fail_threshold = fail_threshold
         self.workspace = Workspace(strategy=strategy)
         self.mounts: Dict[str, List[str]] = {}
+        #: Bundles that failed to open at mount time (corrupt on disk),
+        #: name -> structured detail.  Serving continues without them.
+        self.skipped: Dict[str, dict] = {}
         for store_dir in stores:
-            names = self.workspace.open_store(store_dir, mmap=mmap)
-            self.mounts[os.path.abspath(store_dir)] = names
+            store = DocumentStore(store_dir)
+            mounted: List[str] = []
+            for name in store.names():
+                try:
+                    document = store.open(name, mmap=mmap)
+                except (StoreError, OSError) as exc:
+                    self.skipped[name] = {
+                        "store": os.path.abspath(store_dir),
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                    print(
+                        f"warning: skipping corrupt bundle {name!r} in "
+                        f"{store_dir}: {exc}",
+                        file=sys.stderr,
+                    )
+                    continue
+                try:
+                    self.workspace.add_stored(name, document)
+                except BaseException:
+                    # e.g. a duplicate name across stores: a genuine
+                    # configuration error, not corruption -- re-raise,
+                    # but never leak the mmap handles just opened.
+                    document.close()
+                    raise
+                mounted.append(name)
+            self.mounts[os.path.abspath(store_dir)] = mounted
+        if not self.workspace.documents():
+            detail = (
+                f" ({len(self.skipped)} corrupt bundle(s) skipped)"
+                if self.skipped
+                else ""
+            )
+            raise ValueError(
+                f"no document bundles usable in {list(stores)!r}{detail}"
+            )
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-serve"
         )
@@ -144,11 +230,18 @@ class QueryDaemon:
         self._prepared_lock = threading.Lock()
         # Touched from the event-loop thread only.
         self._in_flight = 0
+        self._requests_open = 0
+        self._draining = False
+        self._connections: set = set()
         self._server: Optional[asyncio.base_events.Server] = None
         self._started = time.monotonic()
         # warm/cold are bumped from pool threads; everything else from
         # the event loop.  One lock keeps all of them exact.
         self._counters_lock = threading.Lock()
+        # Quarantine bookkeeping, guarded by the same lock (failure
+        # notes arrive from pool threads, rejects from the event loop).
+        self._doc_failures: Dict[str, int] = {}
+        self._quarantined: Dict[str, dict] = {}
         self.counters: Dict[str, int] = {
             "requests": 0,
             "queries": 0,
@@ -162,6 +255,11 @@ class QueryDaemon:
             "internal_errors": 0,
             "warm_hits": 0,
             "cold_misses": 0,
+            "eval_failures": 0,
+            "fallbacks": 0,
+            "fallback_successes": 0,
+            "quarantine_rejects": 0,
+            "drain_rejects": 0,
         }
 
     # -- bookkeeping ---------------------------------------------------------
@@ -172,6 +270,47 @@ class QueryDaemon:
 
     def documents(self) -> List[str]:
         return self.workspace.documents()
+
+    # -- quarantine state machine --------------------------------------------
+
+    def quarantined(self) -> Dict[str, dict]:
+        """Quarantined documents and why (a snapshot)."""
+        with self._counters_lock:
+            return {name: dict(info) for name, info in self._quarantined.items()}
+
+    def health_status(self) -> str:
+        """``ok``, or ``degraded`` when anything is quarantined/skipped."""
+        with self._counters_lock:
+            degraded = bool(self._quarantined) or bool(self.skipped)
+        return "degraded" if degraded else "ok"
+
+    def _note_eval_failure(self, document: str, exc: BaseException) -> None:
+        """One ultimately-failed evaluation; quarantine on a streak."""
+        with self._counters_lock:
+            self.counters["eval_failures"] += 1
+            streak = self._doc_failures.get(document, 0) + 1
+            self._doc_failures[document] = streak
+            if (
+                self.fail_threshold
+                and streak >= self.fail_threshold
+                and document not in self._quarantined
+            ):
+                self._quarantined[document] = {
+                    "failures": streak,
+                    "error": f"{type(exc).__name__}: {exc}",
+                    "uptime_s": round(time.monotonic() - self._started, 3),
+                }
+
+    def _note_eval_success(self, document: str) -> None:
+        """An answered request breaks the document's failure streak."""
+        with self._counters_lock:
+            self._doc_failures.pop(document, None)
+
+    def unquarantine(self, document: str) -> bool:
+        """Lift a quarantine (operator override / after a repair)."""
+        with self._counters_lock:
+            self._doc_failures.pop(document, None)
+            return self._quarantined.pop(document, None) is not None
 
     # -- request-payload helpers ---------------------------------------------
 
@@ -194,6 +333,17 @@ class QueryDaemon:
                 "unknown_document",
                 f"no document {name!r}",
                 {"documents": docs},
+            )
+        with self._counters_lock:
+            info = self._quarantined.get(name)
+        if info is not None:
+            self._bump("quarantine_rejects")
+            raise HttpError(
+                503,
+                "quarantined",
+                f"document {name!r} is quarantined after "
+                f"{info['failures']} consecutive evaluation failures",
+                {"document": name, "detail": dict(info)},
             )
         return name, self.workspace.engine(name)
 
@@ -272,11 +422,60 @@ class QueryDaemon:
         with_labels: bool,
         with_stats: bool,
     ) -> dict:
-        """One query, start to finish, on a worker thread."""
+        """One query, start to finish, on a worker thread.
+
+        An unexpected exception from the chosen strategy is retried
+        exactly once on the ``naive`` reference path (the correctness
+        oracle); only if that also fails does the request fail -- and
+        count toward the document's quarantine streak.  Syntax errors
+        and structured HTTP errors pass straight through: they are the
+        client's problem, not the document's.
+        """
         t0 = time.perf_counter()
         plan, warm = self._prepared_plan(document, query, strategy)
         t1 = time.perf_counter()
-        result = plan.execute()
+        fallback = None
+        try:
+            faults.check("serve.evaluate", document=document, strategy=strategy)
+            result = plan.execute()
+        except (HttpError, XPathSyntaxError):
+            raise
+        except Exception as primary:
+            if strategy == FALLBACK_STRATEGY:
+                self._note_eval_failure(document, primary)
+                raise HttpError(
+                    500,
+                    "evaluation_failed",
+                    f"evaluation failed on the reference path: "
+                    f"{type(primary).__name__}: {primary}",
+                    {"document": document, "strategy": strategy},
+                ) from primary
+            self._bump("fallbacks")
+            try:
+                plan, _ = self._prepared_plan(
+                    document, query, FALLBACK_STRATEGY
+                )
+                faults.check(
+                    "serve.evaluate",
+                    document=document,
+                    strategy=FALLBACK_STRATEGY,
+                )
+                result = plan.execute()
+            except (HttpError, XPathSyntaxError):
+                raise
+            except Exception as secondary:
+                self._note_eval_failure(document, secondary)
+                raise HttpError(
+                    500,
+                    "evaluation_failed",
+                    f"evaluation failed ({type(primary).__name__}: "
+                    f"{primary}); reference-path retry also failed "
+                    f"({type(secondary).__name__}: {secondary})",
+                    {"document": document, "strategy": strategy},
+                ) from secondary
+            self._bump("fallback_successes")
+            fallback = FALLBACK_STRATEGY
+        self._note_eval_success(document)
         t2 = time.perf_counter()
         payload = {
             "document": document,
@@ -290,6 +489,8 @@ class QueryDaemon:
                 "total": round((t2 - t0) * 1000.0, 4),
             },
         }
+        if fallback is not None:
+            payload["fallback"] = fallback
         payload.update(planner_fields(plan))
         if not count_only:
             payload["ids"] = list(result.ids)
@@ -386,14 +587,29 @@ class QueryDaemon:
         path, method = request.path, request.method
         if path == "/healthz":
             self._require(method, "GET")
+            status = (
+                "draining" if self._draining else self.health_status()
+            )
             return 200, {
-                "ok": True,
+                "ok": status == "ok",
+                "status": status,
                 "documents": self.documents(),
+                "quarantined": sorted(self.quarantined()),
+                "skipped": {
+                    name: info["error"] for name, info in self.skipped.items()
+                },
                 "uptime_s": round(time.monotonic() - self._started, 3),
             }
         if path == "/stats":
             self._require(method, "GET")
             return 200, self.stats()
+        if self._draining:
+            # Evaluation endpoints refuse new work during the drain;
+            # probes above keep answering so orchestration can watch.
+            self._bump("drain_rejects")
+            raise HttpError(
+                503, "shutting_down", "daemon is draining; connection closing"
+            )
         if path == "/query":
             self._require(method, "POST")
             payload = request.json()
@@ -473,14 +689,40 @@ class QueryDaemon:
         """The ``GET /stats`` payload (also handy in-process)."""
         with self._counters_lock:
             counters = dict(self.counters)
+            quarantined = {
+                name: dict(info) for name, info in self._quarantined.items()
+            }
+            failure_streaks = dict(self._doc_failures)
         with self._prepared_lock:
             prepared = {
                 "size": len(self._prepared),
                 "maxsize": self.prepared_cache_size,
             }
+        answered = max(
+            1, counters["queries"] + counters["batch_queries"]
+        )
         return {
             "uptime_s": round(time.monotonic() - self._started, 3),
             "strategy": self.workspace.strategy,
+            "health": {
+                "status": (
+                    "draining" if self._draining else self.health_status()
+                ),
+                "fail_threshold": self.fail_threshold,
+                "quarantined": quarantined,
+                "failure_streaks": failure_streaks,
+                "skipped": {
+                    name: dict(info) for name, info in self.skipped.items()
+                },
+            },
+            "errors": {
+                "eval_failures": counters["eval_failures"],
+                "fallbacks": counters["fallbacks"],
+                "fallback_successes": counters["fallback_successes"],
+                "quarantine_rejects": counters["quarantine_rejects"],
+                "internal_errors": counters["internal_errors"],
+                "error_rate": round(counters["eval_failures"] / answered, 6),
+            },
             "admission": {
                 "workers": self.workers,
                 "queue_depth": self.queue_depth,
@@ -503,6 +745,7 @@ class QueryDaemon:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._connections.add(writer)
         try:
             while True:
                 try:
@@ -520,16 +763,24 @@ class QueryDaemon:
                 if request is None:
                     return
                 self._bump("requests")
-                keep_alive = request.keep_alive
-                status, payload = await self._answer(request)
-                await send_response(
-                    writer, status, payload, keep_alive=keep_alive
-                )
+                # _requests_open covers read-to-written, so the drain in
+                # stop() never closes a socket between a worker finishing
+                # and its response leaving the process.
+                self._requests_open += 1
+                try:
+                    status, payload = await self._answer(request)
+                    keep_alive = request.keep_alive and not self._draining
+                    await send_response(
+                        writer, status, payload, keep_alive=keep_alive
+                    )
+                finally:
+                    self._requests_open -= 1
                 if not keep_alive:
                     return
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -570,15 +821,36 @@ class QueryDaemon:
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
-    async def stop(self) -> None:
-        """Graceful shutdown: stop accepting, drain workers, release mmaps."""
+    async def stop(self, *, drain_timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: drain, then tear down.
+
+        Stops accepting new connections and new evaluation work
+        (in-progress reads answer ``503 shutting_down``), then waits up
+        to ``drain_timeout`` (default: the per-request budget, which
+        upper-bounds every in-flight request anyway -- each either
+        finishes or gets its own ``504``) for open requests to be fully
+        *written back*, closes surviving keep-alive connections, shuts
+        the worker pool down (cancelling anything still queued), and
+        releases every mmap handle.
+        """
+        self._draining = True
         server, self._server = self._server, None
         if server is not None:
             server.close()
             await server.wait_closed()
-        self._pool.shutdown(wait=True)
+        budget = self.timeout if drain_timeout is None else drain_timeout
+        deadline = time.monotonic() + budget
+        while self._requests_open > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        drained = self._requests_open == 0
+        # Idle keep-alive connections (and, past the deadline, any
+        # stragglers) are torn down; their handler tasks exit on the
+        # resulting connection error.
+        for writer in list(self._connections):
+            writer.close()
+        self._pool.shutdown(wait=drained, cancel_futures=True)
         # Workspace.close() shuts QueryService pools (none by default)
-        # and closes every store handle open_store mounted.
+        # and closes every store handle the mount loop adopted.
         self.workspace.close()
 
     async def run_async(self, ready=None) -> None:

@@ -12,17 +12,21 @@ document store") for how the pieces compose.
 from repro.store.format import (
     FORMAT_NAME,
     FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
+    StoreCorruptionError,
     StoreError,
     StoreFormatError,
     bundle_names,
     is_bundle,
     read_header,
+    verify_bundle,
 )
 from repro.store.store import (
     DocumentStore,
     StoredDocument,
     open_document,
     save_document,
+    verify_document,
 )
 
 __all__ = [
@@ -30,11 +34,15 @@ __all__ = [
     "StoredDocument",
     "open_document",
     "save_document",
+    "verify_document",
+    "verify_bundle",
     "read_header",
     "bundle_names",
     "is_bundle",
     "StoreError",
     "StoreFormatError",
+    "StoreCorruptionError",
     "FORMAT_NAME",
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
 ]

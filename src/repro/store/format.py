@@ -25,29 +25,61 @@ Flat ``.npy`` files (rather than one ``.npz``) are deliberate:
 ``np.load(..., mmap_mode="r")`` only memory-maps plain files, and
 zero-copy reopening is the whole point of the store.
 
+Integrity (format v2)
+---------------------
+The v2 header manifest records, per array, not just dtype/shape but the
+exact **file byte size** and a **CRC32 digest** of the ``.npy`` file.
+:func:`verify_bundle` checks them in two modes: ``fast`` (header parses,
+manifest complete, every file present with its recorded byte size and a
+parseable ``.npy`` header of the right dtype/shape -- no data read) and
+``deep`` (``fast`` plus a full CRC32 pass over every file, catching
+bit rot that leaves sizes intact).  Any mismatch raises
+:class:`StoreCorruptionError` carrying the bundle path, the array, and
+the expected/actual value -- numpy internals never surface.  Digests
+are *off the hot path*: :func:`load_array` (the serving path) only adds
+an ``os.path.getsize`` check per array.
+
+Atomic publication
+------------------
+:func:`write_bundle` never mutates the destination in place.  Arrays
+and header are written to a hidden sibling temp directory
+(``.<name>.tmp.<pid>.<seq>``), fsync'd, and the whole directory is then
+renamed into place (retiring any previous bundle first).  A crash at
+any point leaves either the old bundle, the new bundle, or hidden temp
+debris that :func:`bundle_names` never lists and :func:`is_bundle`
+callers never open -- never a half-written bundle.  Within the temp
+directory the header is still written last, so even debris is
+recognizably incomplete.
+
 Invalidation rules
 ------------------
 ``version`` is bumped on **any** change to the array set, an array's
-dtype/meaning, or the id scheme; readers hard-fail on a mismatch (no
-silent migration -- rebuilding from source XML is always safe and
-cheap relative to serving).  The header additionally records each
-array's dtype and shape; a manifest/file mismatch raises
-:class:`StoreFormatError` before any array is interpreted.
+dtype/meaning, or the id scheme; readers accept the versions named in
+``SUPPORTED_VERSIONS`` and hard-fail otherwise (no silent migration --
+rebuilding from source XML is always safe and cheap relative to
+serving).  v1 bundles (no digests) still open; ``deep`` verification
+degrades to ``fast`` for them and says so in its report.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List
+import shutil
+import zlib
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import faults
+
 FORMAT_NAME = "repro-document-store"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions this reader still opens (v1 predates per-array digests).
+SUPPORTED_VERSIONS = (1, 2)
 HEADER_FILE = "header.json"
 
-#: Every array a v1 bundle must contain, with its expected dtype.
+#: Every array a bundle must contain, with its expected dtype.
 ARRAY_DTYPES: Dict[str, str] = {
     "label_of": "int64",
     "left": "int64",
@@ -66,6 +98,8 @@ ARRAY_DTYPES: Dict[str, str] = {
     "bp_block_start_excess": "int64",
 }
 
+_PUBLISH_SEQ = 0
+
 
 class StoreError(Exception):
     """Base class for document-store failures."""
@@ -75,8 +109,85 @@ class StoreFormatError(StoreError):
     """The bundle on disk does not match the expected format/version."""
 
 
+class StoreCorruptionError(StoreFormatError):
+    """A bundle failed an integrity check (size, digest, or unreadable data).
+
+    Structured: ``path`` is the bundle, ``array`` the offending array
+    (``None`` for header-level damage), ``expected``/``actual`` the
+    mismatched value (a byte size, a CRC32 hex digest, a dtype/shape).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        array: Optional[str],
+        message: str,
+        *,
+        expected=None,
+        actual=None,
+    ) -> None:
+        where = f"{path!r}" + (f" array {array!r}" if array else "")
+        detail = ""
+        if expected is not None or actual is not None:
+            detail = f" (expected {expected!r}, got {actual!r})"
+        super().__init__(f"corrupt bundle {where}: {message}{detail}")
+        self.path = path
+        self.array = array
+        self.reason = message
+        self.expected = expected
+        self.actual = actual
+
+    def to_dict(self) -> dict:
+        """JSON-ready detail (the CLI/daemon error payloads use this)."""
+        out = {"path": self.path, "reason": self.reason}
+        if self.array is not None:
+            out["array"] = self.array
+        if self.expected is not None:
+            out["expected"] = self.expected
+        if self.actual is not None:
+            out["actual"] = self.actual
+        return out
+
+
 def array_path(bundle: str, name: str) -> str:
     return os.path.join(bundle, f"{name}.npy")
+
+
+def file_crc32(path: str, chunk: int = 1 << 20) -> str:
+    """CRC32 of a whole file as an 8-digit hex string."""
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(chunk)
+            if not block:
+                break
+            crc = zlib.crc32(block, crc)
+    return f"{crc & 0xFFFFFFFF:08x}"
+
+
+def _fsync_path(path: str) -> None:
+    """Best-effort fsync of a file or directory."""
+    flags = os.O_RDONLY
+    if hasattr(os, "O_DIRECTORY") and os.path.isdir(path):
+        flags |= os.O_DIRECTORY
+    try:
+        fd = os.open(path, flags)
+    except OSError:
+        return  # e.g. platforms that cannot open directories
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _temp_dir_for(bundle: str) -> str:
+    """A hidden, per-process sibling staging directory for ``bundle``."""
+    global _PUBLISH_SEQ
+    _PUBLISH_SEQ += 1
+    parent, name = os.path.split(os.path.abspath(bundle))
+    return os.path.join(parent, f".{name}.tmp.{os.getpid()}.{_PUBLISH_SEQ}")
 
 
 def write_bundle(
@@ -84,7 +195,17 @@ def write_bundle(
     header: dict,
     arrays: Dict[str, np.ndarray],
 ) -> None:
-    """Write header + arrays; validates the manifest against ARRAY_DTYPES."""
+    """Write header + arrays and publish the bundle atomically.
+
+    Everything is staged in a hidden temp directory next to the
+    destination (same filesystem, so the final rename is atomic), with
+    the digest-bearing header written last and every file fsync'd.  On
+    success the staged directory replaces the destination in one
+    rename (a previous bundle is retired first, then removed); on any
+    failure the staging debris is deleted and the destination is
+    untouched -- a crash mid-build can never leave a half-bundle that
+    :func:`read_header` accepts.
+    """
     missing = set(ARRAY_DTYPES) - set(arrays)
     extra = set(arrays) - set(ARRAY_DTYPES)
     if missing or extra:
@@ -92,28 +213,66 @@ def write_bundle(
             f"array set mismatch: missing={sorted(missing)}, "
             f"extra={sorted(extra)}"
         )
-    os.makedirs(bundle, exist_ok=True)
-    header_path = os.path.join(bundle, HEADER_FILE)
-    if os.path.exists(header_path):
-        # Rebuilding over an existing bundle: invalidate it *before*
-        # touching any array, so a crash mid-rebuild can never leave a
-        # valid old header pointing at a mix of old and new arrays.
-        os.remove(header_path)
-    manifest = {}
-    for name, arr in arrays.items():
-        arr = np.ascontiguousarray(arr, dtype=ARRAY_DTYPES[name])
-        np.save(array_path(bundle, name), arr)
-        manifest[name] = {"dtype": str(arr.dtype), "shape": list(arr.shape)}
-    header = dict(
-        header, format=FORMAT_NAME, version=FORMAT_VERSION, arrays=manifest
-    )
-    tmp = header_path + ".tmp"
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(header, handle, indent=1, sort_keys=True)
-        handle.write("\n")
-    # The header is written last and moved into place atomically: a
-    # bundle without a valid header is simply not a bundle (yet).
-    os.replace(tmp, header_path)
+    bundle = os.path.abspath(bundle)
+    staging = _temp_dir_for(bundle)
+    try:
+        os.makedirs(staging)
+        manifest = {}
+        for name, arr in arrays.items():
+            faults.check("store.write_array", array=name, bundle=bundle)
+            arr = np.ascontiguousarray(arr, dtype=ARRAY_DTYPES[name])
+            path = array_path(staging, name)
+            np.save(path, arr)
+            _fsync_path(path)
+            manifest[name] = {
+                "dtype": str(arr.dtype),
+                "shape": list(arr.shape),
+                "bytes": os.path.getsize(path),
+                "crc32": file_crc32(path),
+            }
+        header = dict(
+            header, format=FORMAT_NAME, version=FORMAT_VERSION, arrays=manifest
+        )
+        header_path = os.path.join(staging, HEADER_FILE)
+        with open(header_path, "w", encoding="utf-8") as handle:
+            json.dump(header, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        _fsync_path(staging)
+        faults.check("store.publish", bundle=bundle)
+        _publish(staging, bundle)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    _fsync_path(os.path.dirname(bundle))
+
+
+def _publish(staging: str, bundle: str) -> None:
+    """Atomically move the staged directory into place.
+
+    A fresh build is a single rename.  A rebuild retires the existing
+    bundle with a rename first (also atomic), then renames the staged
+    one in and deletes the retired copy.  The only crash windows leave
+    either the old or the new bundle valid at ``bundle`` -- or, between
+    the two renames, no bundle plus hidden debris -- never a mixture.
+    """
+    if os.path.isdir(bundle):
+        retired = staging + ".old"
+        os.rename(bundle, retired)
+        try:
+            os.rename(staging, bundle)
+        except BaseException:
+            # Put the old bundle back rather than leave nothing.
+            os.rename(retired, bundle)
+            raise
+        shutil.rmtree(retired, ignore_errors=True)
+    else:
+        if os.path.exists(bundle):
+            raise StoreError(
+                f"bundle destination {bundle!r} exists and is not a directory"
+            )
+        os.rename(staging, bundle)
 
 
 def read_header(bundle: str) -> dict:
@@ -126,15 +285,17 @@ def read_header(bundle: str) -> dict:
         raise StoreFormatError(f"{bundle!r} is not a document bundle "
                                f"(no {HEADER_FILE})") from None
     except json.JSONDecodeError as exc:
-        raise StoreFormatError(f"corrupt header in {bundle!r}: {exc}") from None
+        raise StoreCorruptionError(
+            bundle, None, f"unparseable {HEADER_FILE}: {exc}"
+        ) from None
     if header.get("format") != FORMAT_NAME:
         raise StoreFormatError(
             f"{bundle!r}: unknown format {header.get('format')!r}"
         )
-    if header.get("version") != FORMAT_VERSION:
+    if header.get("version") not in SUPPORTED_VERSIONS:
         raise StoreFormatError(
             f"{bundle!r}: format version {header.get('version')!r} "
-            f"(this reader understands only {FORMAT_VERSION}; rebuild the "
+            f"(this reader understands {SUPPORTED_VERSIONS}; rebuild the "
             "bundle from its source document)"
         )
     manifest = header.get("arrays")
@@ -144,19 +305,107 @@ def read_header(bundle: str) -> dict:
 
 
 def load_array(bundle: str, name: str, manifest: dict, mmap: bool) -> np.ndarray:
-    """Load one manifest array, checking dtype/shape against the header."""
+    """Load one manifest array, checking it against the header.
+
+    Serving-path integrity is deliberately cheap: a byte-size check
+    (when the manifest records one -- v2) plus the dtype/shape check
+    against the parsed ``.npy`` header.  Damage that preserves sizes is
+    :func:`verify_bundle`'s ``deep`` job.  Every failure mode --
+    missing file, size mismatch, an ``.npy`` numpy refuses to parse --
+    surfaces as a structured :class:`StoreCorruptionError`, never a raw
+    numpy exception.
+    """
     path = array_path(bundle, name)
+    meta = manifest[name]
+    faults.check("store.load_array", array=name, bundle=bundle, path=path)
+    expected_bytes = meta.get("bytes")
+    if expected_bytes is not None:
+        try:
+            actual_bytes = os.path.getsize(path)
+        except OSError:
+            raise StoreCorruptionError(
+                bundle, name, "array file missing"
+            ) from None
+        if actual_bytes != expected_bytes:
+            raise StoreCorruptionError(
+                bundle,
+                name,
+                "file size mismatch (truncated or overwritten)",
+                expected=expected_bytes,
+                actual=actual_bytes,
+            )
     try:
         arr = np.load(path, mmap_mode="r" if mmap else None)
     except FileNotFoundError:
-        raise StoreFormatError(f"{bundle!r}: missing array {name!r}") from None
-    meta = manifest[name]
+        raise StoreCorruptionError(bundle, name, "array file missing") from None
+    except Exception as exc:
+        # numpy's .npy header parser leaks SyntaxError/TokenError/... on
+        # mangled bytes; a manifest-listed file that fails to load is by
+        # definition corruption, whatever the parser tripped on.
+        raise StoreCorruptionError(
+            bundle, name, f"unreadable .npy file: {type(exc).__name__}: {exc}"
+        ) from None
     if str(arr.dtype) != meta["dtype"] or list(arr.shape) != meta["shape"]:
-        raise StoreFormatError(
-            f"{bundle!r}: array {name!r} is {arr.dtype}{list(arr.shape)}, "
-            f"header says {meta['dtype']}{meta['shape']}"
+        raise StoreCorruptionError(
+            bundle,
+            name,
+            "dtype/shape mismatch against header",
+            expected=f"{meta['dtype']}{meta['shape']}",
+            actual=f"{arr.dtype}{list(arr.shape)}",
         )
     return arr
+
+
+def verify_bundle(bundle: str, *, deep: bool = False) -> dict:
+    """Check a bundle's integrity; raise :class:`StoreCorruptionError`.
+
+    ``fast`` mode (the default) validates the header, then every
+    array's presence, recorded byte size, and ``.npy`` dtype/shape --
+    metadata only, no array data is read.  ``deep`` mode additionally
+    recomputes each file's CRC32 against the v2 manifest digest,
+    catching size-preserving damage (bit flips) with certainty.
+
+    Returns a JSON-ready report::
+
+        {"path", "version", "mode", "checksums", "n",
+         "arrays": {name: {"bytes", "crc32"?}}, "ok": True}
+
+    ``checksums`` is ``False`` for v1 bundles, whose manifests predate
+    digests: ``deep`` then degrades to ``fast`` and the report says so.
+    On the first failure a :class:`StoreCorruptionError` (or
+    :class:`StoreFormatError` for header-level trouble) is raised
+    instead of a report.
+    """
+    header = read_header(bundle)
+    manifest = header["arrays"]
+    has_digests = all("crc32" in meta for meta in manifest.values())
+    report = {
+        "path": os.path.abspath(bundle),
+        "version": header["version"],
+        "mode": "deep" if deep else "fast",
+        "checksums": has_digests,
+        "n": header.get("n"),
+        "arrays": {},
+        "ok": True,
+    }
+    for name in sorted(manifest):
+        meta = manifest[name]
+        arr = load_array(bundle, name, manifest, True)
+        del arr  # header checks only; drop the mapping immediately
+        entry = {"bytes": os.path.getsize(array_path(bundle, name))}
+        if deep and has_digests:
+            actual = file_crc32(array_path(bundle, name))
+            if actual != meta["crc32"]:
+                raise StoreCorruptionError(
+                    bundle,
+                    name,
+                    "checksum mismatch",
+                    expected=meta["crc32"],
+                    actual=actual,
+                )
+            entry["crc32"] = actual
+        report["arrays"][name] = entry
+    return report
 
 
 def is_bundle(path: str) -> bool:
@@ -165,11 +414,16 @@ def is_bundle(path: str) -> bool:
 
 
 def bundle_names(root: str) -> List[str]:
-    """Sorted names of the bundles directly under a corpus directory."""
+    """Sorted names of the bundles directly under a corpus directory.
+
+    Hidden entries (``.``-prefixed) are never bundles: that namespace
+    is reserved for :func:`write_bundle` staging/retire debris, so a
+    crashed build can never surface in a corpus listing.
+    """
     if not os.path.isdir(root):
         return []
     return sorted(
         name
         for name in os.listdir(root)
-        if is_bundle(os.path.join(root, name))
+        if not name.startswith(".") and is_bundle(os.path.join(root, name))
     )

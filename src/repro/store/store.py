@@ -33,12 +33,14 @@ from repro.index.labels import LabelIndex
 from repro.index.succinct import SuccinctTree
 from repro.store.format import (
     FORMAT_VERSION,
+    StoreCorruptionError,
     StoreError,
     StoreFormatError,
     bundle_names,
     is_bundle,
     load_array,
     read_header,
+    verify_bundle,
     write_bundle,
 )
 from repro.tree.binary import BinaryTree
@@ -305,6 +307,18 @@ def save_document(
     return path
 
 
+def verify_document(path: str, *, deep: bool = False) -> dict:
+    """Integrity-check one bundle; see :func:`repro.store.format.verify_bundle`.
+
+    ``fast`` (default) checks header/manifest/file sizes/``.npy``
+    metadata without reading array data; ``deep=True`` additionally
+    recomputes every file's CRC32 against the manifest digests.  Raises
+    :class:`~repro.store.format.StoreCorruptionError` on damage,
+    returns the JSON-ready verification report otherwise.
+    """
+    return verify_bundle(path, deep=deep)
+
+
 def open_document(path: str, *, mmap: bool = True) -> StoredDocument:
     """Reopen a bundle with zero re-parsing (see the module docstring).
 
@@ -393,9 +407,11 @@ class DocumentStore:
         # (os.path.join treats either on Windows), as are relative
         # segments -- a name must stay a single path component under
         # the store root.
+        # Leading dots are additionally reserved for the atomic-publish
+        # staging/retire namespace (repro.store.format.write_bundle).
         if (
             not name
-            or name in (".", "..")
+            or name.startswith(".")
             or "/" in name
             or "\\" in name
             or os.sep in name
@@ -416,6 +432,39 @@ class DocumentStore:
                 f"present: {self.names()}"
             )
         return open_document(path, mmap=mmap)
+
+    def verify(self, name: Optional[str] = None, *, deep: bool = False):
+        """Integrity-check one named bundle, or the whole corpus.
+
+        With ``name`` given, returns that bundle's verification report
+        (raising :class:`~repro.store.format.StoreCorruptionError` on
+        damage).  Without it, checks every bundle and returns
+        ``{name: report}`` where a failed bundle's report is
+        ``{"ok": False, "error": <structured detail>}`` instead of
+        raising -- one rotten document must not mask the health of the
+        rest of the corpus.
+        """
+        if name is not None:
+            return verify_document(self.path_for(name), deep=deep)
+        reports: Dict[str, dict] = {}
+        for entry in self.names():
+            try:
+                reports[entry] = verify_document(
+                    self.path_for(entry), deep=deep
+                )
+            except StoreFormatError as exc:
+                detail = (
+                    exc.to_dict()
+                    if isinstance(exc, StoreCorruptionError)
+                    else {"reason": str(exc)}
+                )
+                reports[entry] = {
+                    "path": self.path_for(entry),
+                    "ok": False,
+                    "mode": "deep" if deep else "fast",
+                    "error": detail,
+                }
+        return reports
 
     def names(self) -> List[str]:
         """Sorted names of the documents in this store."""

@@ -340,14 +340,15 @@ class TestReviewRegressions:
             generator.tree()
         ).select("//edge")
 
-    def test_rebuild_invalidates_header_before_arrays(self, tmp_path, monkeypatch):
+    def test_rebuild_crash_preserves_old_bundle(self, tmp_path, monkeypatch):
         import numpy as np
-        from repro.store import format as fmt
 
         bundle = os.path.join(str(tmp_path), "doc")
         save_document("<r><a/></r>", bundle)
 
-        # A crash while rewriting arrays must leave no readable bundle.
+        # A crash while rewriting arrays hits only the hidden staging
+        # directory (atomic publish): the previous bundle stays intact,
+        # readable, and verifiable, and no staging debris survives.
         original_save = np.save
         calls = []
 
@@ -361,9 +362,11 @@ class TestReviewRegressions:
         with pytest.raises(RuntimeError):
             save_document("<r><b/><b/></r>", bundle)
         monkeypatch.undo()
-        with pytest.raises(StoreFormatError, match="not a document bundle"):
-            open_document(bundle)
-        assert not fmt.is_bundle(bundle)
+        assert Engine(open_document(bundle)).select("//a") == [1]
+        from repro.store import verify_document
+
+        assert verify_document(bundle, deep=True)["ok"] is True
+        assert os.listdir(str(tmp_path)) == ["doc"]
 
     def test_path_for_rejects_any_separator_style(self, tmp_path):
         store = DocumentStore(str(tmp_path))
