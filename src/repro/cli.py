@@ -247,6 +247,63 @@ def build_store_parser() -> argparse.ArgumentParser:
         help="emit the full verification report as JSON",
     )
 
+    sync = sub.add_parser(
+        "sync",
+        help=(
+            "incrementally mirror a directory of XML files into a "
+            "corpus: content fingerprints decide the minimal "
+            "add/replace/remove set; untouched documents are not "
+            "rebuilt"
+        ),
+    )
+    sync.add_argument("source", help="directory of *.xml source files")
+    sync.add_argument("corpus", help="corpus directory (created if missing)")
+    sync.add_argument(
+        "--no-delete",
+        action="store_true",
+        help="keep corpus documents whose source file is gone",
+    )
+    sync.add_argument(
+        "--compact",
+        action="store_true",
+        help="delete retired bundles with no live readers afterwards",
+    )
+    sync.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report the plan without changing anything",
+    )
+    sync.add_argument(
+        "--attributes",
+        action="store_true",
+        help="encode attributes as @name children",
+    )
+    sync.add_argument(
+        "--text",
+        action="store_true",
+        help="encode character data as #text children",
+    )
+
+    log = sub.add_parser(
+        "log", help="show a corpus' generation history (newest last)"
+    )
+    log.add_argument("path", help="the corpus directory")
+    log.add_argument(
+        "--limit",
+        type=int,
+        metavar="N",
+        help="show only the most recent N entries",
+    )
+    log.add_argument(
+        "--json", action="store_true", help="emit the raw history entries"
+    )
+
+    compact = sub.add_parser(
+        "compact",
+        help="delete retired bundles no open reader still maps",
+    )
+    compact.add_argument("path", help="the corpus directory")
+
     query = sub.add_parser("query", help="run a query on a reopened bundle")
     query.add_argument("query", help="an XPath query")
     query.add_argument("path", help="the bundle directory")
@@ -367,6 +424,65 @@ def store_main(argv: List[str], out) -> int:
             ),
             file=out,
         )
+        return 0
+
+    if args.cmd == "sync":
+        from repro.store import DocumentStore
+
+        try:
+            store = DocumentStore(args.corpus)
+            report = store.sync(
+                args.source,
+                delete=not args.no_delete,
+                compact=args.compact,
+                dry_run=args.dry_run,
+                encode_attributes=args.attributes,
+                encode_text=args.text,
+            )
+        except (ValueError, StoreError, OSError) as exc:
+            _report_error(exc)
+            return 1
+        print(json.dumps(report, sort_keys=True), file=out)
+        return 0
+
+    if args.cmd == "log":
+        from repro.store import DocumentStore
+
+        try:
+            store = DocumentStore(args.path)
+            entries = store.log(limit=args.limit)
+            generation = store.generation()
+        except (StoreError, OSError) as exc:
+            _report_error(exc)
+            return 1
+        if args.json:
+            print(
+                json.dumps(
+                    {"generation": generation, "history": entries},
+                    sort_keys=True,
+                ),
+                file=out,
+            )
+        else:
+            for entry in entries:
+                name = entry.get("name", "")
+                print(
+                    f"g{entry['generation']:<6} {entry['op']:<8} "
+                    f"{name:<20} {entry.get('time', '')}",
+                    file=out,
+                )
+            print(f"generation {generation}", file=out)
+        return 0
+
+    if args.cmd == "compact":
+        from repro.store import DocumentStore
+
+        try:
+            report = DocumentStore(args.path).compact()
+        except (StoreError, OSError) as exc:
+            _report_error(exc)
+            return 1
+        print(json.dumps(report, sort_keys=True), file=out)
         return 0
 
     if args.cmd == "ls":
@@ -641,6 +757,17 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "$REPRO_SERVE_FAIL_THRESHOLD or 3)"
         ),
     )
+    parser.add_argument(
+        "--reload-poll",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "poll each corpus' change stamp every SECONDS and hot-"
+            "reload when it moves; 0 disables polling (default: "
+            "$REPRO_SERVE_RELOAD_POLL or 0; POST /reload always works)"
+        ),
+    )
     return parser
 
 
@@ -663,6 +790,11 @@ def serve_main(argv: List[str], out) -> int:
             **(
                 {"fail_threshold": args.fail_threshold}
                 if args.fail_threshold is not None
+                else {}
+            ),
+            **(
+                {"reload_poll": args.reload_poll}
+                if args.reload_poll is not None
                 else {}
             ),
         )
@@ -767,6 +899,15 @@ def build_client_parser() -> argparse.ArgumentParser:
     add_format(stats)
 
     sub.add_parser("health", help="liveness probe")
+
+    sub.add_parser(
+        "reload",
+        help=(
+            "ask the daemon to re-mount its corpora at the current "
+            "generation (picks up repro store sync / add / replace / "
+            "remove without a restart)"
+        ),
+    )
     return parser
 
 
@@ -862,6 +1003,8 @@ def client_main(argv: List[str], out) -> int:
                     format_rows(rows, ["counter", "value"], args.format),
                     file=out,
                 )
+        elif args.cmd == "reload":
+            print(json.dumps(client.reload(), sort_keys=True), file=out)
         else:  # health
             print(json.dumps(client.healthz(), sort_keys=True), file=out)
     except ServeError as exc:

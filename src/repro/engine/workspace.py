@@ -110,6 +110,46 @@ class Workspace:
         if stored is not None:
             stored.close()
 
+    def swap_stored(
+        self, name: str, document: "StoredDocument"
+    ) -> Optional["StoredDocument"]:
+        """Atomically replace document ``name`` with a new stored bundle.
+
+        The engine is rebuilt from ``document`` and installed under the
+        same name (dict assignment to an existing key, so insertion
+        order -- and hence broadcast/shard order -- is preserved), any
+        parallel-service state derived from the old document is
+        invalidated, and the previously owned
+        :class:`~repro.store.StoredDocument` (if any) is returned
+        **unclosed**: the caller decides when its readers have drained
+        and closes it.  This is the daemon hot-reload building block.
+        """
+        if name not in self._engines:
+            raise KeyError(f"no document {name!r} to swap")
+        engine = Engine(
+            document,
+            strategy=self.strategy,
+            encode_attributes=self.encode_attributes,
+            encode_text=self.encode_text,
+            cache=self.cache,
+        )
+        old = self._stored.get(name)
+        self._engines[name] = engine
+        self._stored[name] = document
+        self._invalidate_services(name)
+        return old
+
+    def pop_stored(self, name: str) -> Optional["StoredDocument"]:
+        """Unregister ``name`` and hand back its stored document unclosed.
+
+        Like :meth:`remove` but the caller takes over the mmap handles
+        (close after draining readers); returns ``None`` when the
+        document was caller-owned (added via :meth:`add`).
+        """
+        del self._engines[name]
+        self._invalidate_services(name)
+        return self._stored.pop(name, None)
+
     def _invalidate_services(self, name: str) -> None:
         """Drop any parallel-service state derived from document ``name``
         (its shards, shard engines, and process-pool payloads) so a

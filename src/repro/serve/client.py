@@ -216,6 +216,15 @@ class ServeClient:
             params["document"] = document
         return self._request("GET", "/explain", params=params)
 
+    def reload(self) -> dict:
+        """Ask the daemon to re-mount its corpora (``POST /reload``).
+
+        Idempotent by construction -- a reload against an unchanged
+        corpus is a no-op answering ``{"reloaded": false}`` -- so the
+        standard retry policy applies.
+        """
+        return self._request("POST", "/reload", body={})
+
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 

@@ -40,9 +40,29 @@ Endpoints
 - ``POST /query``  -- one query: ``{"query": ..., "document": ...}``
 - ``POST /batch``  -- a list of queries, one admission slot
 - ``GET /explain`` -- resolved strategy + planner verdict for a query
+- ``POST /reload`` -- re-mount every corpus at its current generation
+  (see *Hot reload* below)
 - ``GET /stats``   -- daemon counters, admission state, cache statistics,
-  error rates, quarantine/skip state
+  error rates, quarantine/skip state, reload/generation state
 - ``GET /healthz`` -- liveness + mounted documents + degraded status
+
+Hot reload
+----------
+
+Mutable corpora (``DocumentStore.add/replace/remove``, ``repro store
+sync``) publish new bundle generations while a daemon serves the old
+one.  ``POST /reload`` -- or the optional change-stamp poller
+(``reload_poll`` / ``REPRO_SERVE_RELOAD_POLL``) -- picks them up without
+a restart and without failing a single in-flight request: bundle opens
+happen off-loop against the new generation, the engine/mount swap is
+one synchronous step on the event loop, prepared plans and planner
+state are invalidated *per changed document only* (version-stamped
+cache keys make concurrently-built stale plans unreachable), and the
+old generation's mmaps close only after every request admitted before
+the swap has drained (epoch-tagged admission).  Documents skipped as
+corrupt at mount time are retried on every reload; quarantines and
+failure streaks reset for changed documents, because new content
+invalidates old evidence.
 
 Errors are structured JSON (``{"error": {"kind", "message", ...}}``);
 malformed XPath answers ``400`` with the parser's offset-carrying
@@ -95,7 +115,13 @@ from repro.engine import registry
 from repro.engine.planner import planner_fields
 from repro.engine.workspace import Workspace
 from repro.serve.http import HttpError, Request, read_request, send_response
-from repro.store import DocumentStore, StoreError
+from repro.store import (
+    DocumentStore,
+    StoreError,
+    bundle_identity,
+    corpus_stamp,
+    read_manifest,
+)
 from repro.xpath.parser import XPathSyntaxError
 
 #: Default admission queue depth beyond the worker threads.
@@ -111,6 +137,9 @@ FAIL_THRESHOLD = int(os.environ.get("REPRO_SERVE_FAIL_THRESHOLD", "3"))
 #: up -- the reference oracle every fast path is differential-tested
 #: against.
 FALLBACK_STRATEGY = "naive"
+#: Seconds between corpus change-stamp polls (0 disables polling; the
+#: explicit ``POST /reload`` endpoint always works).
+RELOAD_POLL_S = float(os.environ.get("REPRO_SERVE_RELOAD_POLL", "0"))
 
 
 class QueryDaemon:
@@ -142,6 +171,11 @@ class QueryDaemon:
         Consecutive ultimately-failed evaluations (the reference-path
         retry included) before a document is quarantined; ``0``
         disables quarantine.
+    reload_poll:
+        Seconds between corpus change-stamp checks; when a stamp moves,
+        the daemon reloads itself exactly as ``POST /reload`` would.
+        ``0`` (the default) disables polling -- the endpoint is always
+        available either way.
     """
 
     def __init__(
@@ -158,6 +192,7 @@ class QueryDaemon:
         max_body: int = 8 * 1024 * 1024,
         prepared_cache_size: int = PREPARED_CACHE_SIZE,
         fail_threshold: int = FAIL_THRESHOLD,
+        reload_poll: float = RELOAD_POLL_S,
     ) -> None:
         if isinstance(stores, str):
             stores = [stores]
@@ -180,20 +215,33 @@ class QueryDaemon:
         self.max_body = max_body
         self.prepared_cache_size = prepared_cache_size
         self.fail_threshold = fail_threshold
+        if reload_poll < 0:
+            raise ValueError(f"reload_poll must be >= 0, got {reload_poll}")
+        self.reload_poll = reload_poll
+        self.mmap = mmap
         self.workspace = Workspace(strategy=strategy)
         self.mounts: Dict[str, List[str]] = {}
+        self._store_dirs: List[str] = [os.path.abspath(s) for s in stores]
+        #: Per-document mount provenance: the owning store, the bundle
+        #: identity ((st_dev, st_ino) of its header) captured when the
+        #: mmaps were opened, and the manifest's generation/fingerprint.
+        #: A reload republishes a document exactly when the identity on
+        #: disk differs from the one mounted.
+        self._mounted_info: Dict[str, dict] = {}
         #: Bundles that failed to open at mount time (corrupt on disk),
-        #: name -> structured detail.  Serving continues without them.
+        #: name -> structured detail.  Serving continues without them;
+        #: a later reload retries them against the current disk state.
         self.skipped: Dict[str, dict] = {}
-        for store_dir in stores:
+        for store_dir in self._store_dirs:
             store = DocumentStore(store_dir)
+            manifest = read_manifest(store_dir)
             mounted: List[str] = []
             for name in store.names():
                 try:
                     document = store.open(name, mmap=mmap)
                 except (StoreError, OSError) as exc:
                     self.skipped[name] = {
-                        "store": os.path.abspath(store_dir),
+                        "store": store_dir,
                         "error": f"{type(exc).__name__}: {exc}",
                     }
                     print(
@@ -210,8 +258,20 @@ class QueryDaemon:
                     # but never leak the mmap handles just opened.
                     document.close()
                     raise
+                entry = manifest.documents.get(name) or {}
+                self._mounted_info[name] = {
+                    "store": store_dir,
+                    "identity": bundle_identity(store.path_for(name)),
+                    "generation": entry.get("generation"),
+                    "fingerprint": entry.get("fingerprint"),
+                }
                 mounted.append(name)
-            self.mounts[os.path.abspath(store_dir)] = mounted
+            self.mounts[store_dir] = mounted
+        #: Per-store change stamps the reload poller compares against.
+        self._stamps: Dict[str, Optional[int]] = {
+            store_dir: corpus_stamp(store_dir)
+            for store_dir in self._store_dirs
+        }
         if not self.workspace.documents():
             detail = (
                 f" ({len(self.skipped)} corrupt bundle(s) skipped)"
@@ -228,10 +288,26 @@ class QueryDaemon:
             OrderedDict()
         )
         self._prepared_lock = threading.Lock()
+        # Per-document version counter, bumped on every reload swap.
+        # Prepared-plan keys embed it, so a worker thread that resolved
+        # the *old* engine and finishes building its plan after the swap
+        # inserts under a version no future lookup uses -- the stale
+        # plan is unreachable, not poisonous.  Written on the event
+        # loop, read from pool threads (GIL-atomic dict ops).
+        self._doc_versions: Dict[str, int] = {}
         # Touched from the event-loop thread only.
         self._in_flight = 0
         self._requests_open = 0
         self._draining = False
+        # Reload epoch: every admitted request is tagged with the epoch
+        # current at admission; a reload bumps the epoch after swapping
+        # engines and then drains the older epochs' counts to zero
+        # before closing the superseded mmaps.
+        self._epoch = 0
+        self._epoch_inflight: Dict[int, int] = {}
+        self._reload_lock = asyncio.Lock()
+        self._poll_task: Optional[asyncio.Task] = None
+        self._last_reload: Optional[dict] = None
         self._connections: set = set()
         self._server: Optional[asyncio.base_events.Server] = None
         self._started = time.monotonic()
@@ -260,6 +336,9 @@ class QueryDaemon:
             "fallback_successes": 0,
             "quarantine_rejects": 0,
             "drain_rejects": 0,
+            "reloads": 0,
+            "reload_noops": 0,
+            "reload_failures": 0,
         }
 
     # -- bookkeeping ---------------------------------------------------------
@@ -392,8 +471,14 @@ class QueryDaemon:
         zero plan resolution -- including zero planner work once the
         ``auto`` planner froze the plan's converged choice -- which is
         the whole point of serving from one process.
+
+        The key embeds the document's reload version, read *before* the
+        engine is resolved: a reload swap (engine first, version second,
+        both synchronous on the event loop) therefore can never let an
+        old-engine plan land under the new version's key.
         """
-        key = (document, query, strategy)
+        version = self._doc_versions.get(document, 0)
+        key = (document, version, query, strategy)
         with self._prepared_lock:
             plan = self._prepared.get(key)
             if plan is not None:
@@ -409,6 +494,14 @@ class QueryDaemon:
                 self._prepared.popitem(last=False)
         self._bump("cold_misses")
         return plan, False
+
+    def _purge_prepared(self, document: str) -> int:
+        """Drop every cached plan for ``document`` (any version)."""
+        with self._prepared_lock:
+            stale = [k for k in self._prepared if k[0] == document]
+            for k in stale:
+                del self._prepared[k]
+        return len(stale)
 
     # -- pool-side work ------------------------------------------------------
 
@@ -495,8 +588,10 @@ class QueryDaemon:
         if not count_only:
             payload["ids"] = list(result.ids)
         if with_labels:
-            engine = self.workspace.engine(document)
-            payload["labels"] = engine.labels_of(list(result.ids))
+            # The plan's own engine, not a fresh workspace lookup: a
+            # reload swap between execute and here must not label old-
+            # generation ids against the new generation's tree.
+            payload["labels"] = plan.engine.labels_of(list(result.ids))
         if with_stats:
             payload["stats"] = result.stats.snapshot()
         return payload
@@ -562,6 +657,11 @@ class QueryDaemon:
                 {"limit": self.admission_limit},
             )
         self._in_flight += 1
+        # Tag the request with the current reload epoch so a concurrent
+        # reload knows when everything that may touch the old engines
+        # has left the building (see :meth:`reload`).
+        epoch = self._epoch
+        self._epoch_inflight[epoch] = self._epoch_inflight.get(epoch, 0) + 1
         try:
             loop = asyncio.get_running_loop()
             future = loop.run_in_executor(self._pool, fn)
@@ -580,6 +680,237 @@ class QueryDaemon:
                 ) from None
         finally:
             self._in_flight -= 1
+            left = self._epoch_inflight.get(epoch, 1) - 1
+            if left > 0:
+                self._epoch_inflight[epoch] = left
+            else:
+                self._epoch_inflight.pop(epoch, None)
+
+    # -- hot reload ----------------------------------------------------------
+
+    def _reload_prepare(self) -> dict:
+        """Blocking half of a reload: diff the disk, open new bundles.
+
+        Runs on a plain executor thread (never the query pool, whose
+        slots a saturated daemon may not free while the reload holds its
+        lock) while the event loop keeps serving the old generation.
+        Returns everything the synchronous swap needs: freshly opened
+        :class:`StoredDocument` handles for added/changed bundles, the
+        removal list, the new skip map, mount/stamp/manifest snapshots.
+        Nothing daemon-visible is mutated here.
+        """
+        mounted = dict(self._mounted_info)
+        desired: Dict[str, dict] = {}
+        new_skipped: Dict[str, dict] = {}
+        stamps: Dict[str, Optional[int]] = {}
+        generations: Dict[str, int] = {}
+        stores: Dict[str, DocumentStore] = {}
+        for store_dir in self._store_dirs:
+            stamps[store_dir] = corpus_stamp(store_dir)
+            store = DocumentStore(store_dir)
+            stores[store_dir] = store
+            manifest = read_manifest(store_dir)
+            generations[store_dir] = manifest.generation
+            for name in store.names():
+                if name in desired:
+                    new_skipped[name] = {
+                        "store": store_dir,
+                        "error": (
+                            f"duplicate bundle name (already mounted from "
+                            f"{desired[name]['store']!r})"
+                        ),
+                    }
+                    continue
+                entry = manifest.documents.get(name) or {}
+                desired[name] = {
+                    "store": store_dir,
+                    "identity": bundle_identity(store.path_for(name)),
+                    "generation": entry.get("generation"),
+                    "fingerprint": entry.get("fingerprint"),
+                }
+        opened: Dict[str, object] = {}
+        added: List[str] = []
+        replaced: List[str] = []
+        unchanged: List[str] = []
+        try:
+            for name, info in desired.items():
+                current = mounted.get(name)
+                if current is None:
+                    kind = added
+                elif current["identity"] != info["identity"]:
+                    kind = replaced
+                else:
+                    unchanged.append(name)
+                    continue
+                try:
+                    opened[name] = stores[info["store"]].open(
+                        name, mmap=self.mmap
+                    )
+                except (StoreError, OSError) as exc:
+                    new_skipped[name] = {
+                        "store": info["store"],
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                    continue
+                kind.append(name)
+        except BaseException:
+            for document in opened.values():
+                document.close()
+            raise
+        removed = sorted(set(mounted) - set(desired))
+        return {
+            "desired": desired,
+            "opened": opened,
+            "added": added,
+            "replaced": replaced,
+            "removed": removed,
+            "unchanged": unchanged,
+            "skipped": new_skipped,
+            "stamps": stamps,
+            "generations": generations,
+        }
+
+    async def reload(self) -> dict:
+        """Re-mount every corpus at its current generation, atomically.
+
+        The daemon keeps answering throughout: the disk diff and bundle
+        opens run off-loop (:meth:`_reload_prepare`); the swap itself --
+        engines into the workspace, per-document plan purge + version
+        bump, quarantine/streak reset, mount-table update -- happens
+        synchronously on the event loop, so no request ever observes a
+        half-swapped state.  The old generation's mmaps close only
+        after every request admitted before the swap has drained (the
+        epoch counts from :meth:`_admit`); a straggler that outlives the
+        drain budget merely defers its mmap close to its final array
+        reference (:meth:`repro.store.StoredDocument.close` tolerates
+        pinned exports), it can never crash.
+
+        Single-flight: concurrent ``POST /reload`` requests serialize on
+        a lock, each performing its own (by then usually no-op) pass.
+        Returns the structured change report ``/reload`` answers with.
+        """
+        if self._draining:
+            raise HttpError(
+                503, "shutting_down", "daemon is draining; reload refused"
+            )
+        async with self._reload_lock:
+            t0 = time.perf_counter()
+            loop = asyncio.get_running_loop()
+            try:
+                prepared = await loop.run_in_executor(
+                    None, self._reload_prepare
+                )
+            except BaseException as exc:
+                self._bump("reload_failures")
+                raise HttpError(
+                    500,
+                    "reload_failed",
+                    f"reload failed: {type(exc).__name__}: {exc}",
+                ) from exc
+            desired = prepared["desired"]
+            opened = prepared["opened"]
+            changed = sorted(
+                set(prepared["added"])
+                | set(prepared["replaced"])
+                | set(prepared["removed"])
+            )
+            # -- synchronous swap: no awaits until the epoch bump ------
+            superseded: List[object] = []
+            for name, document in opened.items():
+                if name in self.workspace:
+                    old = self.workspace.swap_stored(name, document)
+                else:
+                    self.workspace.add_stored(name, document)
+                    old = None
+                if old is not None:
+                    superseded.append(old)
+            for name in prepared["removed"]:
+                old = self.workspace.pop_stored(name)
+                if old is not None:
+                    superseded.append(old)
+            for name in changed:
+                self._purge_prepared(name)
+                self._doc_versions[name] = (
+                    self._doc_versions.get(name, 0) + 1
+                )
+                with self._counters_lock:
+                    self._doc_failures.pop(name, None)
+                    self._quarantined.pop(name, None)
+                if name not in desired or name in prepared["skipped"]:
+                    self._mounted_info.pop(name, None)
+                else:
+                    self._mounted_info[name] = desired[name]
+            self.skipped = prepared["skipped"]
+            self.mounts = {
+                store_dir: sorted(
+                    name
+                    for name, info in self._mounted_info.items()
+                    if info["store"] == store_dir
+                )
+                for store_dir in self._store_dirs
+            }
+            self._stamps = prepared["stamps"]
+            old_epoch = self._epoch
+            self._epoch += 1
+            # -- drain the old epochs, then close the old generation ---
+            drained = True
+            if superseded:
+                deadline = time.monotonic() + self.timeout
+
+                def older_inflight() -> int:
+                    return sum(
+                        count
+                        for epoch, count in self._epoch_inflight.items()
+                        if epoch <= old_epoch
+                    )
+
+                while older_inflight() > 0:
+                    if time.monotonic() >= deadline:
+                        drained = False
+                        break
+                    await asyncio.sleep(0.005)
+                for document in superseded:
+                    document.close()
+            report = {
+                "reloaded": bool(changed),
+                "added": sorted(prepared["added"]),
+                "replaced": sorted(prepared["replaced"]),
+                "removed": prepared["removed"],
+                "unchanged": sorted(prepared["unchanged"]),
+                "skipped": {
+                    name: info["error"]
+                    for name, info in prepared["skipped"].items()
+                },
+                "generations": prepared["generations"],
+                "drained": drained,
+                "duration_ms": round(
+                    (time.perf_counter() - t0) * 1000.0, 3
+                ),
+            }
+            self._bump("reloads" if changed else "reload_noops")
+            self._last_reload = report
+            return report
+
+    async def _reload_poll_loop(self) -> None:
+        """Watch each corpus' change stamp; reload when one moves."""
+        while True:
+            await asyncio.sleep(self.reload_poll)
+            if self._draining:
+                return
+            loop = asyncio.get_running_loop()
+            stamps = await loop.run_in_executor(
+                None,
+                lambda: {d: corpus_stamp(d) for d in self._store_dirs},
+            )
+            if stamps == self._stamps:
+                continue
+            try:
+                await self.reload()
+            except HttpError as exc:
+                print(
+                    f"warning: polled reload failed: {exc.message}",
+                    file=sys.stderr,
+                )
 
     # -- dispatch ------------------------------------------------------------
 
@@ -610,6 +941,11 @@ class QueryDaemon:
             raise HttpError(
                 503, "shutting_down", "daemon is draining; connection closing"
             )
+        if path == "/reload":
+            # Not pool-admitted: a reload waits for admitted requests
+            # to drain, so counting it among them would deadlock.
+            self._require(method, "POST")
+            return 200, await self.reload()
         if path == "/query":
             self._require(method, "POST")
             payload = request.json()
@@ -675,7 +1011,16 @@ class QueryDaemon:
             404,
             "not_found",
             f"no route {path!r}",
-            {"routes": ["/query", "/batch", "/explain", "/stats", "/healthz"]},
+            {
+                "routes": [
+                    "/query",
+                    "/batch",
+                    "/explain",
+                    "/reload",
+                    "/stats",
+                    "/healthz",
+                ]
+            },
         )
 
     @staticmethod
@@ -735,6 +1080,21 @@ class QueryDaemon:
                 for name in self.documents()
             },
             "mounts": {path: names for path, names in self.mounts.items()},
+            "reload": {
+                "reloads": counters["reloads"],
+                "noops": counters["reload_noops"],
+                "failures": counters["reload_failures"],
+                "poll_s": self.reload_poll,
+                "epoch": self._epoch,
+                "generations": {
+                    name: {
+                        "generation": info["generation"],
+                        "fingerprint": info["fingerprint"],
+                    }
+                    for name, info in sorted(self._mounted_info.items())
+                },
+                "last": self._last_reload,
+            },
             "counters": counters,
             "prepared": prepared,
             "caches": self.workspace.cache_info(),
@@ -820,6 +1180,8 @@ class QueryDaemon:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.reload_poll > 0:
+            self._poll_task = asyncio.create_task(self._reload_poll_loop())
 
     async def stop(self, *, drain_timeout: Optional[float] = None) -> None:
         """Graceful shutdown: drain, then tear down.
@@ -834,6 +1196,13 @@ class QueryDaemon:
         releases every mmap handle.
         """
         self._draining = True
+        poll_task, self._poll_task = self._poll_task, None
+        if poll_task is not None:
+            poll_task.cancel()
+            try:
+                await poll_task
+            except (asyncio.CancelledError, Exception):
+                pass
         server, self._server = self._server, None
         if server is not None:
             server.close()

@@ -21,9 +21,25 @@ from repro.store.format import (
     read_header,
     verify_bundle,
 )
+from repro.store.manifest import (
+    MANIFEST_FILE,
+    MANIFEST_FORMAT,
+    MANIFEST_VERSION,
+    RETIRED_PREFIX,
+    CorpusManifest,
+    bytes_fingerprint,
+    corpus_stamp,
+    file_fingerprint,
+    plan_sync,
+    read_manifest,
+    text_fingerprint,
+    write_manifest,
+)
 from repro.store.store import (
     DocumentStore,
     StoredDocument,
+    bundle_identity,
+    live_readers,
     open_document,
     save_document,
     verify_document,
@@ -32,9 +48,23 @@ from repro.store.store import (
 __all__ = [
     "DocumentStore",
     "StoredDocument",
+    "bundle_identity",
+    "live_readers",
     "open_document",
     "save_document",
     "verify_document",
+    "CorpusManifest",
+    "read_manifest",
+    "write_manifest",
+    "plan_sync",
+    "corpus_stamp",
+    "bytes_fingerprint",
+    "file_fingerprint",
+    "text_fingerprint",
+    "MANIFEST_FILE",
+    "MANIFEST_FORMAT",
+    "MANIFEST_VERSION",
+    "RETIRED_PREFIX",
     "verify_bundle",
     "read_header",
     "bundle_names",

@@ -194,6 +194,8 @@ def write_bundle(
     bundle: str,
     header: dict,
     arrays: Dict[str, np.ndarray],
+    *,
+    retire_to: Optional[str] = None,
 ) -> None:
     """Write header + arrays and publish the bundle atomically.
 
@@ -205,6 +207,12 @@ def write_bundle(
     failure the staging debris is deleted and the destination is
     untouched -- a crash mid-build can never leave a half-bundle that
     :func:`read_header` accepts.
+
+    ``retire_to`` keeps a superseded bundle instead of deleting it: the
+    old directory is renamed to that (hidden, same-filesystem) path in
+    the same crash-safe window, so generational corpora can hold it for
+    still-open readers until a later compaction pass
+    (:meth:`repro.store.store.DocumentStore.compact`).
     """
     missing = set(ARRAY_DTYPES) - set(arrays)
     extra = set(arrays) - set(ARRAY_DTYPES)
@@ -241,24 +249,28 @@ def write_bundle(
             os.fsync(handle.fileno())
         _fsync_path(staging)
         faults.check("store.publish", bundle=bundle)
-        _publish(staging, bundle)
+        _publish(staging, bundle, retire_to=retire_to)
     except BaseException:
         shutil.rmtree(staging, ignore_errors=True)
         raise
     _fsync_path(os.path.dirname(bundle))
 
 
-def _publish(staging: str, bundle: str) -> None:
+def _publish(
+    staging: str, bundle: str, *, retire_to: Optional[str] = None
+) -> None:
     """Atomically move the staged directory into place.
 
     A fresh build is a single rename.  A rebuild retires the existing
     bundle with a rename first (also atomic), then renames the staged
-    one in and deletes the retired copy.  The only crash windows leave
-    either the old or the new bundle valid at ``bundle`` -- or, between
-    the two renames, no bundle plus hidden debris -- never a mixture.
+    one in and deletes the retired copy -- or, with ``retire_to``,
+    keeps it there for a later compaction.  The only crash windows
+    leave either the old or the new bundle valid at ``bundle`` -- or,
+    between the two renames, no bundle plus hidden debris -- never a
+    mixture.
     """
     if os.path.isdir(bundle):
-        retired = staging + ".old"
+        retired = retire_to if retire_to is not None else staging + ".old"
         os.rename(bundle, retired)
         try:
             os.rename(staging, bundle)
@@ -266,7 +278,8 @@ def _publish(staging: str, bundle: str) -> None:
             # Put the old bundle back rather than leave nothing.
             os.rename(retired, bundle)
             raise
-        shutil.rmtree(retired, ignore_errors=True)
+        if retire_to is None:
+            shutil.rmtree(retired, ignore_errors=True)
     else:
         if os.path.exists(bundle):
             raise StoreError(

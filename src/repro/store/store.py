@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import datetime
 import os
-from typing import Dict, List, Optional, Union
+import shutil
+import threading
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +35,7 @@ from repro.index.labels import LabelIndex
 from repro.index.succinct import SuccinctTree
 from repro.store.format import (
     FORMAT_VERSION,
+    HEADER_FILE,
     StoreCorruptionError,
     StoreError,
     StoreFormatError,
@@ -43,10 +46,106 @@ from repro.store.format import (
     verify_bundle,
     write_bundle,
 )
+from repro.store.manifest import (
+    CorpusManifest,
+    file_fingerprint,
+    plan_sync,
+    read_manifest,
+    retired_dir_name,
+    write_manifest,
+)
 from repro.tree.binary import BinaryTree
 from repro.tree.document import XMLDocument
 
 Document = Union[str, XMLDocument, BinaryTree, TreeIndex]
+
+# -- in-process reader registry ----------------------------------------------
+#
+# compact() must not delete a retired bundle a live StoredDocument still
+# maps.  Bundles are identified by the (st_dev, st_ino) of their
+# header.json -- stable across the retire rename -- and refcounted per
+# open.  The registry is process-local; cross-process readers on POSIX
+# survive even an early deletion (unlinked pages stay mapped), so this
+# is a tidiness guarantee in-process and a safety one everywhere.
+
+_READERS: Dict[Tuple[int, int], int] = {}
+_READERS_LOCK = threading.Lock()
+
+
+def bundle_identity(path: str) -> Optional[Tuple[int, int]]:
+    """A rename-stable identity for a published bundle: the
+    ``(st_dev, st_ino)`` of its header file, or ``None`` when the path
+    holds no bundle.  Retiring a bundle renames its directory but keeps
+    the inode, so the identity tracks the *publication*, not the path --
+    the property both :func:`live_readers` and the daemon's reload
+    change-detection rely on."""
+    try:
+        st = os.stat(os.path.join(path, HEADER_FILE))
+    except OSError:
+        return None
+    return (st.st_dev, st.st_ino)
+
+
+def _register_reader(key: Optional[Tuple[int, int]]) -> None:
+    if key is None:
+        return
+    with _READERS_LOCK:
+        _READERS[key] = _READERS.get(key, 0) + 1
+
+
+def _unregister_reader(key: Optional[Tuple[int, int]]) -> None:
+    if key is None:
+        return
+    with _READERS_LOCK:
+        count = _READERS.get(key, 0) - 1
+        if count > 0:
+            _READERS[key] = count
+        else:
+            _READERS.pop(key, None)
+
+
+def live_readers(path: str) -> int:
+    """In-process open :class:`StoredDocument` count for a bundle path.
+
+    Rename-stable: a reader that opened the bundle before it was
+    retired still counts against the retired directory.
+    """
+    key = bundle_identity(path)
+    if key is None:
+        return 0
+    with _READERS_LOCK:
+        return _READERS.get(key, 0)
+
+
+def _release_mapped(mapped: List[np.ndarray]) -> None:
+    """Close the mmap handles behind a list of mapped arrays.
+
+    Drops the array references first (each pins an export on its mmap);
+    a mapping still exported by a live ndarray elsewhere cannot be
+    closed yet -- those are retried after a garbage-collection pass
+    and, if still pinned, left for the final reference drop to unmap.
+    """
+    leftover = []
+    while mapped:
+        arr = mapped.pop()
+        mm = getattr(arr, "_mmap", None)
+        del arr
+        if mm is not None and not getattr(mm, "closed", True):
+            leftover.append(mm)
+    for retry in (False, True):
+        if not leftover:
+            break
+        if retry:
+            import gc
+
+            gc.collect()
+        still = []
+        for mm in leftover:
+            try:
+                mm.close()
+            except (BufferError, ValueError):
+                still.append(mm)
+        leftover = still
 
 
 class StoredDocument:
@@ -68,23 +167,32 @@ class StoredDocument:
         # their OS mappings (a long-lived daemon unmounting a corpus
         # must not leak map handles until garbage collection).
         self._mapped: List[np.ndarray] = []
+        # Registered reader identity (mmap opens only); compact() keeps
+        # retired bundles alive while this is held.
+        self._reader_key: Optional[Tuple[int, int]] = None
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise StoreError(f"document {self.path!r} is closed")
 
     @property
     def tree(self) -> BinaryTree:
+        self._ensure_open()
         return self.index.tree
 
     @property
     def n(self) -> int:
+        self._ensure_open()
         return self.index.tree.n
 
     @property
     def labels(self) -> List[str]:
+        self._ensure_open()
         return self.index.tree.labels
 
     def succinct(self) -> SuccinctTree:
         """The document's BP tree, rehydrated from the mapped state."""
-        if self.closed:
-            raise StoreError(f"document {self.path!r} is closed")
+        self._ensure_open()
         if self._succinct is None:
             header = self.header
             mmap = header.get("_mmap", True)
@@ -131,27 +239,9 @@ class StoredDocument:
         mapped, self._mapped = self._mapped, []
         self.index = None
         self._succinct = None
-        leftover = []
-        while mapped:
-            arr = mapped.pop()
-            mm = getattr(arr, "_mmap", None)
-            del arr  # the ndarray pins an export on its mmap
-            if mm is not None and not getattr(mm, "closed", True):
-                leftover.append(mm)
-        for retry in (False, True):
-            if not leftover:
-                break
-            if retry:
-                import gc
-
-                gc.collect()
-            still = []
-            for mm in leftover:
-                try:
-                    mm.close()
-                except (BufferError, ValueError):
-                    still.append(mm)
-            leftover = still
+        key, self._reader_key = self._reader_key, None
+        _unregister_reader(key)
+        _release_mapped(mapped)
 
     def __enter__(self) -> "StoredDocument":
         return self
@@ -247,6 +337,7 @@ def save_document(
     encode_attributes: bool = False,
     encode_text: bool = False,
     source: Optional[dict] = None,
+    retire_to: Optional[str] = None,
 ) -> str:
     """Compile ``document`` and persist it as a bundle at ``path``.
 
@@ -261,6 +352,10 @@ def save_document(
     ignoring them.  String and event input stream straight through a
     :class:`~repro.tree.builder.TreeBuilder`, whose accumulated BP
     parentheses are reused for the succinct state (no re-walk).
+
+    ``retire_to`` (generational corpora) renames a superseded bundle to
+    that hidden path inside the atomic publish instead of deleting it;
+    see :func:`repro.store.format.write_bundle`.
     """
     index, parens = resolve_document(document, encode_attributes, encode_text)
     tree = index.tree
@@ -303,7 +398,7 @@ def save_document(
         # an O(n) sweep to price a query (repro.engine.planner).
         "stats": {"height": tree.height()},
     }
-    write_bundle(path, header, arrays)
+    write_bundle(path, header, arrays, retire_to=retire_to)
     return path
 
 
@@ -327,6 +422,10 @@ def open_document(path: str, *, mmap: bool = True) -> StoredDocument:
     """
     header = read_header(path)
     manifest = header["arrays"]
+    # Capture the bundle's identity before mapping anything, so the
+    # reader registration below binds to the files actually mapped even
+    # if the bundle is concurrently replaced.
+    reader_key = bundle_identity(path) if mmap else None
     mapped: List[np.ndarray] = []
 
     def load(name: str) -> np.ndarray:
@@ -335,34 +434,40 @@ def open_document(path: str, *, mmap: bool = True) -> StoredDocument:
             mapped.append(arr)
         return arr
 
-    labels = list(header["labels"])
-    label_of_arr = load("label_of")
-    left_arr = load("left")
-    right_arr = load("right")
-    parent_arr = load("parent")
-    bparent_arr = load("bparent")
-    xml_end_arr = load("xml_end")
-    n = int(header["n"])
-    if label_of_arr.shape != (n,):
-        raise StoreFormatError(
-            f"{path!r}: header n={n} but label_of has shape "
-            f"{label_of_arr.shape}"
+    # A failure partway through (a corrupt array after several mapped
+    # fine) must not leak the handles already opened.
+    try:
+        labels = list(header["labels"])
+        label_of_arr = load("label_of")
+        left_arr = load("left")
+        right_arr = load("right")
+        parent_arr = load("parent")
+        bparent_arr = load("bparent")
+        xml_end_arr = load("xml_end")
+        n = int(header["n"])
+        if label_of_arr.shape != (n,):
+            raise StoreFormatError(
+                f"{path!r}: header n={n} but label_of has shape "
+                f"{label_of_arr.shape}"
+            )
+        # The scalar inner loops of the evaluator index these per node;
+        # the plain-list mirrors keep every id a Python int (and keep
+        # list indexing speed), while the numpy views stay zero-copy.
+        tree = BinaryTree.from_arrays(
+            labels,
+            label_of_arr.tolist(),
+            left_arr.tolist(),
+            right_arr.tolist(),
+            parent_arr.tolist(),
+            xml_end_arr.tolist(),
+            bparent=bparent_arr.tolist(),
         )
-    # The scalar inner loops of the evaluator index these per node; the
-    # plain-list mirrors keep every id a Python int (and keep list
-    # indexing speed), while the numpy views below stay zero-copy.
-    tree = BinaryTree.from_arrays(
-        labels,
-        label_of_arr.tolist(),
-        left_arr.tolist(),
-        right_arr.tolist(),
-        parent_arr.tolist(),
-        xml_end_arr.tolist(),
-        bparent=bparent_arr.tolist(),
-    )
-    label_index = LabelIndex.from_state(
-        tree, load("label_ids"), load("label_bounds")
-    )
+        label_index = LabelIndex.from_state(
+            tree, load("label_ids"), load("label_bounds")
+        )
+    except BaseException:
+        _release_mapped(mapped)
+        raise
     index = TreeIndex(tree, labels=label_index)
     # Seed the vectorized-path caches with the mapped arrays directly --
     # the hybrid/fused strategies then slice the store file itself.
@@ -383,11 +488,22 @@ def open_document(path: str, *, mmap: bool = True) -> StoredDocument:
     header["_mmap"] = mmap
     document = StoredDocument(os.path.abspath(path), header, index)
     document._mapped.extend(mapped)
+    document._reader_key = reader_key
+    _register_reader(reader_key)
     return document
 
 
 class DocumentStore:
     """A corpus directory of named bundles (one subdirectory per document).
+
+    The corpus is *mutable without rebuilds*: :meth:`add`,
+    :meth:`replace` and :meth:`remove` publish or retire one bundle at
+    a time under a generational ``manifest.json``
+    (:mod:`repro.store.manifest`), :meth:`sync` applies the minimal
+    add/replace/remove set to mirror a directory of XML sources, and
+    :meth:`compact` deletes retired bundles once no in-process reader
+    still maps them.  Readers that opened a document before it was
+    superseded keep serving the old generation until they close.
 
     >>> import tempfile
     >>> root = tempfile.mkdtemp()
@@ -397,6 +513,9 @@ class DocumentStore:
     ['tiny']
     >>> store.open("tiny").n
     4
+    >>> _ = store.replace("tiny", "<r><a/><a/></r>")
+    >>> store.generation()
+    2
     """
 
     def __init__(self, root: str) -> None:
@@ -419,9 +538,234 @@ class DocumentStore:
             raise ValueError(f"invalid document name {name!r}")
         return os.path.join(self.root, name)
 
+    # -- mutation (generational) ---------------------------------------------
+
+    def manifest(self) -> CorpusManifest:
+        """The corpus manifest, reconciled with the bundles on disk.
+
+        Corpora that predate manifests get an in-memory bootstrap at
+        generation 0; nothing is written until the first mutation.
+        """
+        return read_manifest(self.root)
+
+    def generation(self) -> int:
+        """The corpus's current generation (0 for a fresh/legacy one)."""
+        return self.manifest().generation
+
+    def log(self, limit: Optional[int] = None) -> List[dict]:
+        """Generation history, oldest first (``repro store log``)."""
+        history = self.manifest().history
+        if limit is not None and limit > 0:
+            history = history[-limit:]
+        return list(history)
+
+    @staticmethod
+    def _merge_fingerprint(
+        fingerprint: Optional[str], kwargs: dict
+    ) -> Optional[str]:
+        """Thread a content fingerprint into the bundle's source header."""
+        source = dict(kwargs.get("source") or {})
+        if fingerprint is not None:
+            source["fingerprint"] = fingerprint
+        else:
+            fingerprint = source.get("fingerprint")
+        if source:
+            kwargs["source"] = source
+        return fingerprint
+
+    def add(
+        self,
+        name: str,
+        document: Document,
+        *,
+        fingerprint: Optional[str] = None,
+        **kwargs,
+    ) -> str:
+        """Publish a *new* document; one generation, one bundle write.
+
+        Fails if ``name`` already exists (use :meth:`replace`, or
+        :meth:`save` for upsert semantics).  ``fingerprint`` (or
+        ``source={"fingerprint": ...}``) records the source content
+        hash that :meth:`sync` diffs against.
+        """
+        path = self.path_for(name)
+        if is_bundle(path):
+            raise StoreError(
+                f"document {name!r} already exists in {self.root!r}; "
+                "use replace()"
+            )
+        fingerprint = self._merge_fingerprint(fingerprint, kwargs)
+        manifest = self.manifest()
+        manifest.record("add", name, fingerprint=fingerprint)
+        save_document(document, path, **kwargs)
+        manifest.set_document(name, fingerprint)
+        write_manifest(self.root, manifest)
+        return path
+
+    def replace(
+        self,
+        name: str,
+        document: Document,
+        *,
+        fingerprint: Optional[str] = None,
+        **kwargs,
+    ) -> str:
+        """Atomically supersede an existing document.
+
+        The new bundle is staged and rename-published
+        (:func:`repro.store.format.write_bundle`); the old bundle is
+        *retired* into the hidden garbage namespace in the same
+        crash-safe window, where open readers keep it alive until
+        :meth:`compact` collects it.
+        """
+        path = self.path_for(name)
+        if not is_bundle(path):
+            raise StoreError(
+                f"no document {name!r} in {self.root!r} to replace; "
+                f"present: {self.names()}"
+            )
+        fingerprint = self._merge_fingerprint(fingerprint, kwargs)
+        manifest = self.manifest()
+        old = manifest.documents.get(name) or {}
+        retired = retired_dir_name(name, old.get("generation", 0))
+        manifest.record("replace", name, fingerprint=fingerprint)
+        save_document(
+            document,
+            path,
+            retire_to=os.path.join(self.root, retired),
+            **kwargs,
+        )
+        manifest.retire(name, retired)
+        manifest.set_document(name, fingerprint)
+        write_manifest(self.root, manifest)
+        return path
+
+    def remove(self, name: str) -> None:
+        """Retire a document out of the corpus (bundle kept as garbage).
+
+        The bundle directory is renamed into the hidden retired
+        namespace -- still readable by anyone who opened it -- and the
+        manifest drops the name; :meth:`compact` deletes it once no
+        in-process reader remains.
+        """
+        path = self.path_for(name)
+        if not is_bundle(path):
+            raise StoreError(
+                f"no document {name!r} in {self.root!r} to remove; "
+                f"present: {self.names()}"
+            )
+        manifest = self.manifest()
+        old = manifest.documents.get(name) or {}
+        retired = retired_dir_name(name, old.get("generation", 0))
+        manifest.record("remove", name)
+        os.rename(path, os.path.join(self.root, retired))
+        manifest.retire(name, retired)
+        write_manifest(self.root, manifest)
+
+    def compact(self) -> dict:
+        """Delete retired bundles whose readers are gone.
+
+        A retired bundle with a live in-process reader
+        (:func:`live_readers`) is kept for a later pass.  Returns
+        ``{"deleted": [...], "kept": [...], "generation": g}``.
+        """
+        manifest = self.manifest()
+        deleted: List[str] = []
+        kept: List[str] = []
+        remaining: List[dict] = []
+        for entry in manifest.retired:
+            full = os.path.join(self.root, entry["bundle"])
+            if not os.path.isdir(full):
+                continue  # already gone; forget the entry
+            if live_readers(full) > 0:
+                kept.append(entry["bundle"])
+                remaining.append(entry)
+                continue
+            shutil.rmtree(full, ignore_errors=True)
+            deleted.append(entry["bundle"])
+        manifest.retired = remaining
+        if deleted:
+            manifest.record("compact", deleted=len(deleted))
+        write_manifest(self.root, manifest)
+        return {
+            "deleted": deleted,
+            "kept": kept,
+            "generation": manifest.generation,
+        }
+
+    def sync(
+        self,
+        source_dir: str,
+        *,
+        delete: bool = True,
+        compact: bool = False,
+        dry_run: bool = False,
+        encode_attributes: bool = False,
+        encode_text: bool = False,
+    ) -> dict:
+        """Mirror a directory of XML files with the minimal change set.
+
+        Each ``<stem>.xml`` under ``source_dir`` names document
+        ``<stem>``.  Files are diffed against the manifest by content
+        fingerprint: unchanged documents cost one hash and **zero**
+        bundle writes; only genuinely new/changed/vanished documents
+        are added/replaced/removed (one generation each).
+        ``delete=False`` keeps corpus documents with no source file;
+        ``compact=True`` runs :meth:`compact` afterwards;
+        ``dry_run=True`` reports the plan without touching anything.
+        """
+        from repro.store.manifest import bytes_fingerprint
+
+        plan = plan_sync(self.root, source_dir, delete=delete)
+        sources: Dict[str, str] = plan.pop("sources")  # type: ignore[assignment]
+        before = self.generation()
+        report = {
+            "source_dir": os.path.abspath(source_dir),
+            "added": list(plan["add"]),
+            "replaced": list(plan["replace"]),
+            "removed": list(plan["remove"]),
+            "unchanged": list(plan["unchanged"]),
+            "kept": list(plan["keep"]),
+            "dry_run": dry_run,
+        }
+        if dry_run:
+            report["generation"] = {"before": before, "after": before}
+            return report
+        for op, names in (("add", plan["add"]), ("replace", plan["replace"])):
+            for name in names:
+                with open(sources[name], "rb") as handle:
+                    data = handle.read()
+                kwargs = dict(
+                    fingerprint=bytes_fingerprint(data),
+                    source={
+                        "kind": "xml",
+                        "file": os.path.abspath(sources[name]),
+                    },
+                    encode_attributes=encode_attributes,
+                    encode_text=encode_text,
+                )
+                text = data.decode("utf-8")
+                if op == "add":
+                    self.add(name, text, **kwargs)
+                else:
+                    self.replace(name, text, **kwargs)
+        for name in plan["remove"]:
+            self.remove(name)
+        report["generation"] = {"before": before, "after": self.generation()}
+        if compact:
+            report["compacted"] = self.compact()
+        return report
+
     def save(self, name: str, document: Document, **kwargs) -> str:
-        """Compile and persist ``document`` under ``name``."""
-        return save_document(document, self.path_for(name), **kwargs)
+        """Compile and persist ``document`` under ``name`` (upsert).
+
+        An existing document is :meth:`replace`\\ d (old bundle retired
+        for compaction), a new one :meth:`add`\\ ed -- either way the
+        manifest generation advances by one.
+        """
+        if name in self:
+            return self.replace(name, document, **kwargs)
+        return self.add(name, document, **kwargs)
 
     def open(self, name: str, *, mmap: bool = True) -> StoredDocument:
         """Reopen the named bundle."""
@@ -475,7 +819,17 @@ class DocumentStore:
         return {name: read_header(self.path_for(name)) for name in self.names()}
 
     def __contains__(self, name: str) -> bool:
-        return is_bundle(os.path.join(self.root, name))
+        # Routed through path_for so names the store would never
+        # create -- path separators, relative segments, the hidden
+        # staging/retire namespace -- answer False instead of probing
+        # outside the corpus root.
+        if not isinstance(name, str):
+            return False
+        try:
+            path = self.path_for(name)
+        except ValueError:
+            return False
+        return is_bundle(path)
 
     def __len__(self) -> int:
         return len(self.names())

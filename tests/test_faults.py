@@ -279,7 +279,36 @@ class TestBuildFaults:
         store = DocumentStore(str(root))
         assert store.names() == ["a"]
         assert verify_document(store.path_for("a"), deep=True)["ok"] is True
-        assert os.listdir(root) == ["a"]
+        # Bundle "a" plus its corpus manifest -- no debris from "b".
+        assert sorted(os.listdir(root)) == ["a", "manifest.json"]
+
+    def test_failed_open_releases_partial_mmaps(self, bundle, monkeypatch):
+        """Regression: a load that fails *after* several arrays mapped
+        fine (here: ``label_ids``, the seventh) must close the handles
+        it already opened instead of leaking them until gc."""
+        import repro.store.store as store_mod
+
+        original = store_mod.load_array
+        mapped = []
+
+        def recording_load(path, name, manifest, mmap):
+            arr = original(path, name, manifest, mmap)
+            if mmap:
+                mapped.append(arr)
+            return arr
+
+        monkeypatch.setattr(store_mod, "load_array", recording_load)
+        with faults.inject(
+            "store.load_array", "io_error", match={"array": "label_ids"}
+        ):
+            with pytest.raises(OSError):
+                open_document(bundle)
+        assert len(mapped) == 6  # the six nav arrays mapped before the hit
+        assert all(arr._mmap.closed for arr in mapped)
+        # And a failed open never registers a reader.
+        from repro.store import live_readers
+
+        assert live_readers(bundle) == 0
 
     def test_rebuild_crash_preserves_old_corpus_entry(self, tmp_path):
         root = tmp_path / "corpus"
