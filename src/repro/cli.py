@@ -139,9 +139,12 @@ def build_batch_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--executor",
-        choices=("thread", "process"),
+        choices=("thread", "process", "pool"),
         default="thread",
-        help="worker pool flavour (default: thread)",
+        help=(
+            "worker pool flavour (default: thread; 'pool' is the "
+            "persistent shared-memory worker pool)"
+        ),
     )
     parser.add_argument(
         "--xmark",
@@ -768,6 +771,29 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "$REPRO_SERVE_RELOAD_POLL or 0; POST /reload always works)"
         ),
     )
+    parser.add_argument(
+        "--pool-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "persistent shared-memory worker processes; /batch (and "
+            "/query on large documents) runs on the pool with warm "
+            "caches and work stealing; 0 disables (default: "
+            "$REPRO_SERVE_POOL_WORKERS or 0)"
+        ),
+    )
+    parser.add_argument(
+        "--pool-min-nodes",
+        type=int,
+        default=None,
+        metavar="NODES",
+        help=(
+            "route single /query requests through the pool only for "
+            "documents of at least NODES nodes (default: "
+            "$REPRO_SERVE_POOL_MIN_NODES or 65536)"
+        ),
+    )
     return parser
 
 
@@ -797,6 +823,16 @@ def serve_main(argv: List[str], out) -> int:
                 if args.reload_poll is not None
                 else {}
             ),
+            **(
+                {"pool_workers": args.pool_workers}
+                if args.pool_workers is not None
+                else {}
+            ),
+            **(
+                {"pool_min_nodes": args.pool_min_nodes}
+                if args.pool_min_nodes is not None
+                else {}
+            ),
         )
     except (ValueError, StoreError, OSError) as exc:
         _report_error(exc)
@@ -810,6 +846,7 @@ def serve_main(argv: List[str], out) -> int:
                     "documents": d.documents(),
                     "strategy": d.workspace.strategy,
                     "workers": d.workers,
+                    "pool_workers": d.pool_workers,
                     "admission_limit": d.admission_limit,
                     "timeout_s": d.timeout,
                 },

@@ -40,6 +40,26 @@ paths inside predicates, or relative top-level paths -- are not sharded;
 they run as whole-document tasks on the pool, which still parallelizes
 them across the batch.  Degenerate documents (a bare root) have no
 shards and short-circuit to the root gate.
+
+Three executors, one contract (byte-identical to serial):
+
+- ``"thread"`` -- a ``ThreadPoolExecutor`` sharing shard engines and
+  the workspace's compiled cache (best when evaluation releases the
+  GIL or interleaves with I/O).
+- ``"process"`` -- a per-batch ``ProcessPoolExecutor`` whose workers
+  rebuild engines from pickled shard payloads (legacy; kept for
+  comparison).
+- ``"pool"`` -- the persistent shared-memory
+  :class:`~repro.engine.pool.WorkerPool`: long-lived workers that
+  reopen store bundles zero-copy via mmap, keep engines / compiled
+  paths / prepared plans warm across batches, and pull
+  query-granularity chunks from one shared queue (dynamic load
+  balancing with steal accounting).  Dispatch is task-size aware:
+  cheap queries run whole-document and are chunked together to
+  amortize IPC; expensive queries on large documents split by shard
+  so idle workers can steal.  Store mutations survive via
+  generation-versioned worker cache invalidation -- see
+  :mod:`repro.engine.pool`.
 """
 
 from __future__ import annotations
@@ -52,6 +72,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.counters import EvalStats
 from repro.engine import registry
+from repro.engine.pool import PoolTask, WorkerPool
 from repro.engine.api import Engine
 from repro.engine.plan import ExecutionResult
 from repro.index.jumping import TreeIndex
@@ -71,6 +92,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.workspace import Workspace
 
 Query = Union[str, Path]
+
+#: Documents below this node count run a shardable query as one
+#: whole-document pool task instead of splitting it by shard -- the
+#: split's rewrite/merge overhead only pays off on large inputs.
+POOL_SPLIT_NODES = int(os.environ.get("REPRO_POOL_SPLIT_NODES", "4096"))
 
 _ROOT_STEP = Step(Axis.CHILD, "node()", None)
 """From the document node, ``child::node()`` selects exactly the root."""
@@ -361,12 +387,25 @@ def _worker_engine(doc: str, ordinal: Optional[int]) -> Engine:
     return engine
 
 
+#: Worker-side compiled-path cache, keyed by query string: the same
+#: rewritten query arrives once per shard per batch, and re-running
+#: ``parse_xpath`` for each was pure repeated work in the hot loop.
+_WORKER_PATHS: Dict[str, Path] = {}
+
+
+def _worker_path(path_str: str) -> Path:
+    path = _WORKER_PATHS.get(path_str)
+    if path is None:
+        path = _WORKER_PATHS[path_str] = parse_xpath(path_str)
+    return path
+
+
 def _worker_run(
     doc: str, ordinal: Optional[int], offset: int, path_strs: Tuple[str, ...]
 ) -> Tuple[List[int], dict, bool]:
     """One pool task: run rewritten paths on a shard (or the whole doc)."""
     engine = _worker_engine(doc, ordinal)
-    paths = [parse_xpath(p) for p in path_strs]
+    paths = [_worker_path(p) for p in path_strs]
     ids, stats, accepted = _run_paths(engine, paths, offset)
     return ids, stats.snapshot(), accepted
 
@@ -393,9 +432,16 @@ class QueryService:
         ``"thread"`` (default) shares shard engines and the workspace's
         compiled-query cache across pool threads -- the right choice
         when evaluation releases the GIL or tasks interleave with I/O.
-        ``"process"`` starts workers that rebuild engines from the
-        picklable shard indexes -- the right choice for CPU-bound
-        pure-Python evaluation on multiple cores.
+        ``"process"`` starts per-batch workers that rebuild engines
+        from the picklable shard indexes (legacy; kept for
+        comparison).  ``"pool"`` keeps a persistent
+        :class:`~repro.engine.pool.WorkerPool` of shared-memory worker
+        processes alive across batches: warm engines and compiled
+        paths, zero-copy mmap reopens of store bundles, one shared
+        task queue with steal accounting, and generation-versioned
+        cache invalidation that survives store mutations without a
+        pool rebuild.  Unlike the others, ``"pool"`` uses its worker
+        processes even at ``jobs=1`` (the persistence is the point).
     mp_start_method:
         Start method for the process pool (``"fork"``, ``"spawn"``,
         ``"forkserver"``); ``None`` uses the platform default --
@@ -419,9 +465,10 @@ class QueryService:
         executor: str = "thread",
         mp_start_method: Optional[str] = None,
     ) -> None:
-        if executor not in ("thread", "process"):
+        if executor not in ("thread", "process", "pool"):
             raise ValueError(
-                f"executor must be 'thread' or 'process', got {executor!r}"
+                f"executor must be 'thread', 'process' or 'pool', "
+                f"got {executor!r}"
             )
         self.workspace = workspace
         self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
@@ -433,16 +480,41 @@ class QueryService:
         self._shard_engines: Dict[Tuple[str, int], Engine] = {}
         self._pool = None
         self._pool_docs: Optional[Tuple[str, ...]] = None
+        # Pool-executor state: which documents the persistent pool's
+        # static payload covers, and a per-document version counter the
+        # workers compare against (generation invalidation).
+        self._pool_static: Tuple[str, ...] = ()
+        self._doc_versions: Dict[str, int] = {}
         self._lock = threading.Lock()
 
     # -- lifecycle ----------------------------------------------------------
 
+    @staticmethod
+    def _shutdown_pool(pool) -> None:
+        """Stop any pool flavour: executors shut down, WorkerPools close."""
+        if pool is None:
+            return
+        if hasattr(pool, "shutdown"):
+            pool.shutdown(wait=True)
+        else:
+            pool.close()
+
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool (idempotent).
+
+        For the persistent ``pool`` executor this joins (then, past a
+        timeout, terminates) every worker process -- after
+        :meth:`close`, :meth:`Workspace.close`, or a daemon's SIGTERM
+        drain, no orphaned workers survive.  Garbage collection of an
+        unclosed service is backstopped by the pool's own finalizer
+        (:class:`~repro.engine.pool.WorkerPool` terminates its
+        processes when collected).
+        """
         with self._lock:
             pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+            self._pool_docs = None
+            self._pool_static = ()
+        self._shutdown_pool(pool)
 
     def __enter__(self) -> "QueryService":
         return self
@@ -453,22 +525,33 @@ class QueryService:
     def invalidate(self, name: str) -> None:
         """Forget every cache derived from document ``name``.
 
-        Called by :meth:`Workspace.add`/:meth:`Workspace.remove` so a
-        removed or re-registered document can never be answered from
-        stale shards.  Process pools are torn down (their workers hold a
-        copy of the old shard payload); the thread pool keeps no
-        document state and survives.
+        Called by :meth:`Workspace.add`/:meth:`Workspace.remove`/
+        :meth:`Workspace.swap_stored` so a removed or re-registered
+        document can never be answered from stale shards.  Per-batch
+        process pools are torn down (their workers hold a copy of the
+        old shard payload); the thread pool keeps no document state and
+        survives.  The persistent ``pool`` executor survives *store*
+        mutations without a rebuild: the document's version counter is
+        bumped, every future task carries it, and each worker drops its
+        caches for that document (and reopens the bundle at its current
+        generation) on the first version mismatch -- unrelated
+        documents stay warm.  Only an in-memory document (part of the
+        pool's start-time payload) forces a pool rebuild.
         """
         stale_pool = None
         with self._lock:
             self._shards.pop(name, None)
             for key in [k for k in self._shard_engines if k[0] == name]:
                 del self._shard_engines[key]
-            if self.executor == "process" and self._pool is not None:
-                stale_pool, self._pool = self._pool, None
-                self._pool_docs = None
-        if stale_pool is not None:
-            stale_pool.shutdown(wait=True)
+            self._doc_versions[name] = self._doc_versions.get(name, 0) + 1
+            if self._pool is not None:
+                if self.executor == "process":
+                    stale_pool, self._pool = self._pool, None
+                    self._pool_docs = None
+                elif self.executor == "pool" and name in self._pool_static:
+                    stale_pool, self._pool = self._pool, None
+                    self._pool_static = ()
+        self._shutdown_pool(stale_pool)
 
     # -- sharding -----------------------------------------------------------
 
@@ -518,6 +601,8 @@ class QueryService:
                         max_workers=self.jobs, thread_name_prefix="repro-qs"
                     )
                 return self._pool
+        if self.executor == "pool":
+            return self._get_worker_pool()
         docs = tuple(self.workspace.documents())
         with self._lock:
             if self._pool is not None and self._pool_docs != docs:
@@ -527,6 +612,86 @@ class QueryService:
                 self._pool = self._make_process_pool(docs)
                 self._pool_docs = docs
             return self._pool
+
+    def ensure_pool(self):
+        """Build the worker pool eagerly (idempotent).
+
+        Long-lived hosts (the serve daemon) call this at startup, while
+        the process is still single-threaded -- forking workers before
+        any event loop or request threads exist sidesteps the classic
+        fork-after-threads hazards.  Returns the pool, or ``None`` when
+        this configuration runs inline.
+        """
+        if self.jobs > 1 or self.executor == "pool":
+            return self._get_pool()
+        return None
+
+    def pool_stats(self) -> Optional[dict]:
+        """The persistent pool's health snapshot (``None`` otherwise)."""
+        with self._lock:
+            pool = self._pool
+        if pool is None or not hasattr(pool, "stats"):
+            return None
+        return pool.stats()
+
+    def _is_static(self, name: str) -> bool:
+        """True when ``name`` has no bundle path to ship (in-memory)."""
+        index = self.workspace.engine(name).index
+        return getattr(index, "store_path", None) is None
+
+    def _get_worker_pool(self):
+        static = tuple(
+            name
+            for name in self.workspace.documents()
+            if self._is_static(name)
+        )
+        stale = None
+        with self._lock:
+            if self._pool is not None and self._pool_static != static:
+                stale, self._pool = self._pool, None
+                self._pool_static = ()
+        self._shutdown_pool(stale)
+        with self._lock:
+            if self._pool is None:
+                payload = {}
+                for name in static:
+                    index = self.workspace.engine(name).index
+                    payload[name] = (
+                        "index",
+                        index,
+                        self._shards_locked(name),
+                    )
+                self._pool = WorkerPool(
+                    workers=self.jobs,
+                    strategy=self.workspace.strategy,
+                    static_docs=payload,
+                    mp_start_method=self.mp_start_method,
+                )
+                self._pool_static = static
+            return self._pool
+
+    def _pool_descriptor(self, name: str) -> tuple:
+        """How a pool worker materializes (and version-checks) ``name``.
+
+        Store-backed documents ship their bundle path + shard ranges +
+        version on every task (a few bytes); workers reopen the mmap
+        themselves and the OS page cache shares the physical pages.
+        In-memory documents were shipped at pool start and are named by
+        version only.
+        """
+        index = self.workspace.engine(name).index
+        store_path = getattr(index, "store_path", None)
+        with self._lock:
+            version = self._doc_versions.get(name, 0)
+            if store_path is not None:
+                shards = self._shards_locked(name)
+                return (
+                    "store",
+                    store_path,
+                    tuple((s.lo, s.hi) for s in shards),
+                    version,
+                )
+        return ("static", version)
 
     def _payload_entry(self, name: str) -> tuple:
         """The picklable worker payload for one document.
@@ -655,17 +820,31 @@ class QueryService:
         engines = {name: self.workspace.engine(name) for name in doc_names}
         if not qkeys:
             return {name: {} for name in doc_names}
-        pool = self._get_pool() if self.jobs > 1 else None
+        pool = (
+            self._get_pool()
+            if (self.jobs > 1 or self.executor == "pool")
+            else None
+        )
         # (doc, qkey) -> list of ordered parts; each part is either an
         # ExecutionResult or a pending task exposing .result().
         pending: Dict[Tuple[str, str], List[object]] = {}
+        # Pool executor: tasks accumulate here across the whole batch so
+        # one submit_many call can chunk cheap queries *together* (fewer
+        # IPC messages) before any worker starts pulling.
+        sink: Optional[List[_DeferredPart]] = (
+            [] if self.executor == "pool" and pool is not None else None
+        )
         for name in doc_names:
             shards = self.doc_shards(name)
             for qkey in qkeys:
                 plan = self._plan(paths[qkey])
                 pending[(name, qkey)] = self._submit_query(
-                    pool, name, engines[name], shards, plan
+                    pool, name, engines[name], shards, plan, sink
                 )
+        if sink:
+            futures = pool.submit_many([part.task for part in sink])
+            for part, future in zip(sink, futures):
+                part.inner = future
         out: Dict[str, Dict[str, ExecutionResult]] = {}
         for name in doc_names:
             per_doc: Dict[str, ExecutionResult] = {}
@@ -691,12 +870,15 @@ class QueryService:
         engine: Engine,
         shards: List[Shard],
         plan: ShardQueryPlan,
+        sink: Optional[List["_DeferredPart"]] = None,
     ) -> List[object]:
         """Submit one (document, query) to the pool; ordered result parts."""
         resolved = registry.resolve(self.workspace.strategy, plan.path)
         if not getattr(resolved, "parallel_safe", True):
             # The strategy keeps run state on itself: run in this thread.
             return [engine.execute(plan.path)]
+        if sink is not None:
+            return self._submit_query_pool(doc, engine, shards, plan, sink)
         if not plan.shardable or not shards:
             if plan.shardable:
                 # Degenerate document (bare root): the root gate is the
@@ -713,6 +895,65 @@ class QueryService:
                 self._submit_shard(pool, doc, shard, shard_paths)
             )
         return parts
+
+    def _submit_query_pool(
+        self,
+        doc: str,
+        engine: Engine,
+        shards: List[Shard],
+        plan: ShardQueryPlan,
+        sink: List["_DeferredPart"],
+    ) -> List[object]:
+        """Task-size-aware dispatch to the persistent worker pool.
+
+        Cheap queries (small documents, unshardable paths, or a
+        single-worker pool) run as one whole-document task -- the pool
+        chunks several of them into one IPC message.  An expensive
+        shardable query on a large document (>= ``POOL_SPLIT_NODES``
+        nodes) splits by shard so idle workers can steal its pieces;
+        the root gate still resolves serially in the parent, exactly as
+        in the static executors.
+        """
+        split = (
+            plan.shardable
+            and bool(shards)
+            and self.jobs > 1
+            and engine.index.tree.n >= POOL_SPLIT_NODES
+        )
+        if not split:
+            task = PoolTask(
+                doc,
+                self._pool_descriptor(doc),
+                None,
+                0,
+                (plan.query,),
+                cost=engine.index.tree.n,
+            )
+            return [self._defer(sink, task)]
+        gate, root_part = self._root_part(engine, plan)
+        shard_paths = plan.shard_paths(root_gate=gate)
+        parts: List[object] = [root_part]
+        if not shard_paths:
+            return parts
+        descriptor = self._pool_descriptor(doc)
+        path_strs = tuple(str(p) for p in shard_paths)
+        for shard in shards:
+            task = PoolTask(
+                doc,
+                descriptor,
+                shard.ordinal,
+                shard.offset,
+                path_strs,
+                cost=len(shard),
+            )
+            parts.append(self._defer(sink, task))
+        return parts
+
+    @staticmethod
+    def _defer(sink: List["_DeferredPart"], task: PoolTask) -> "_DeferredPart":
+        part = _DeferredPart(task)
+        sink.append(part)
+        return part
 
     def _root_part(
         self, engine: Engine, plan: ShardQueryPlan
@@ -765,6 +1006,31 @@ class QueryService:
             tuple(str(p) for p in shard_paths),
         )
         return _MappedFuture(future)
+
+
+class _DeferredPart:
+    """A pool task's slot in a query's ordered parts list.
+
+    Created while the batch is still being planned; its
+    :class:`~repro.engine.pool.PoolFuture` is bound (``inner``) after
+    the whole batch goes through one ``submit_many`` call -- batch-wide
+    submission is what lets the pool chunk cheap tasks from *different*
+    queries into one IPC message.  Workers return
+    ``(ids, stats-snapshot, accepted)``; an :class:`EvalStats` is
+    rebuilt here so the merge path is uniform with the other executors.
+    """
+
+    __slots__ = ("task", "inner")
+
+    def __init__(self, task: PoolTask) -> None:
+        self.task = task
+        self.inner = None
+
+    def result(self, timeout=None) -> ExecutionResult:
+        ids, stats, accepted = self.inner.result(timeout)
+        if isinstance(stats, dict):
+            stats = EvalStats(**stats)
+        return ExecutionResult(accepted, tuple(ids), stats)
 
 
 class _MappedFuture:

@@ -258,9 +258,12 @@ class Workspace:
         ``jobs`` > 1 routes the batch through the sharded
         :class:`~repro.engine.parallel.QueryService` fast path (see its
         docs for ``executor`` and ``shards``); results are identical to
-        the serial path.
+        the serial path.  ``executor="pool"`` routes through the
+        persistent shared-memory worker pool at any ``jobs`` count
+        (the pool keeps its workers -- and their warm caches -- alive
+        across calls).
         """
-        if jobs is not None and jobs > 1:
+        if (jobs is not None and jobs > 1) or executor == "pool":
             service = self.service(jobs=jobs, executor=executor, shards=shards)
             return service.select_many(queries, document)
         queries = list(queries)
@@ -288,9 +291,10 @@ class Workspace:
 
         ``jobs`` > 1 fans the broadcast out across document shards on a
         worker pool (the :class:`~repro.engine.parallel.QueryService`
-        fast path).
+        fast path); ``executor="pool"`` uses the persistent
+        shared-memory pool at any ``jobs`` count.
         """
-        if jobs is not None and jobs > 1:
+        if (jobs is not None and jobs > 1) or executor == "pool":
             service = self.service(jobs=jobs, executor=executor, shards=shards)
             return service.select_all(query)
         return {
@@ -308,7 +312,12 @@ class Workspace:
 
         One service -- and hence one worker pool and one set of document
         shards -- is kept per ``(jobs, executor, shards)`` configuration;
-        call :meth:`close` to shut the pools down.
+        call :meth:`close` to shut the pools down.  With
+        ``executor="pool"`` the service owns a persistent
+        :class:`~repro.engine.pool.WorkerPool` of shared-memory worker
+        processes that stays warm across calls and survives store
+        mutations (:meth:`swap_stored`) via generation-versioned
+        invalidation; :meth:`close` joins or terminates its workers.
         """
         from repro.engine.parallel import QueryService
 

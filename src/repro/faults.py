@@ -16,6 +16,14 @@ sites:
   renamed into place (a crash in the publish window)
 - ``serve.evaluate``     -- before a query executes on a daemon worker
   thread (:meth:`repro.serve.daemon.QueryDaemon._evaluate`)
+- ``pool.task``          -- before every subtask inside a shared-memory
+  pool worker *process* (:meth:`repro.engine.pool._WorkerState.run`);
+  under the ``fork`` start method an active plan is inherited at worker
+  spawn, so chaos tests can stall or fail work inside the pool
+
+Sites checked inside pool worker processes (``pool.task``, and
+``store.load_array`` when a worker reopens a bundle) fire in the
+*worker*; their counts are not visible in the parent's plan.
 
 With no plan installed every site is a single module-global ``None``
 check -- the hot path pays nothing in production.

@@ -34,6 +34,18 @@ one prepared plan are serialized by the plan's own lock
 (:meth:`~repro.engine.plan.PreparedQuery.execute`), so concurrent
 identical queries stay correct; distinct queries run concurrently.
 
+With ``pool_workers > 0`` (``repro serve --pool-workers N``) a third
+tier joins: a persistent :class:`~repro.engine.pool.WorkerPool` of
+shared-memory worker *processes*, forked at construction time while the
+daemon is still single-threaded.  ``/batch`` requests -- and ``/query``
+on documents of at least ``pool_min_nodes`` nodes -- occupy one
+admission slot and one executor thread as before, but that thread only
+*waits*: the evaluation itself fans out across the pool's warm workers
+(query-granularity stealing, zero-copy mmap shares, per-worker compiled
+caches).  Pool health lives under ``"pool"`` in ``GET /stats``; any
+pool failure degrades to the thread path and counts as a
+``pool_fallback``.
+
 Endpoints
 ---------
 
@@ -140,6 +152,13 @@ FALLBACK_STRATEGY = "naive"
 #: Seconds between corpus change-stamp polls (0 disables polling; the
 #: explicit ``POST /reload`` endpoint always works).
 RELOAD_POLL_S = float(os.environ.get("REPRO_SERVE_RELOAD_POLL", "0"))
+#: Worker *processes* for the persistent shared-memory pool
+#: (:class:`repro.engine.pool.WorkerPool`); 0 disables the pool and
+#: every request runs on the thread executor as before.
+POOL_WORKERS = int(os.environ.get("REPRO_SERVE_POOL_WORKERS", "0"))
+#: Documents at or above this node count route single ``/query``
+#: requests through the pool too (batches always use it when enabled).
+POOL_MIN_NODES = int(os.environ.get("REPRO_SERVE_POOL_MIN_NODES", "65536"))
 
 
 class QueryDaemon:
@@ -176,6 +195,22 @@ class QueryDaemon:
         the daemon reloads itself exactly as ``POST /reload`` would.
         ``0`` (the default) disables polling -- the endpoint is always
         available either way.
+    pool_workers:
+        Worker *processes* for the persistent shared-memory pool
+        (:class:`repro.engine.pool.WorkerPool`).  When > 0, ``/batch``
+        requests (and ``/query`` on documents of at least
+        ``pool_min_nodes`` nodes) run on the pool instead of a single
+        worker thread: zero-copy mmap reopens, warm per-worker caches,
+        query-granularity stealing.  The pool is created eagerly at
+        construction -- before the event loop or any worker thread
+        exists, so the fork is clean -- survives hot reloads via
+        generation-versioned invalidation, and is torn down by
+        :meth:`stop`.  Any pool failure falls back to the thread path
+        (counted under ``pool_fallbacks``).  ``0`` (default) disables.
+    pool_min_nodes:
+        Node-count threshold for routing single ``/query`` requests
+        through the pool; small documents stay on the (cheaper)
+        thread executor.
     """
 
     def __init__(
@@ -193,6 +228,8 @@ class QueryDaemon:
         prepared_cache_size: int = PREPARED_CACHE_SIZE,
         fail_threshold: int = FAIL_THRESHOLD,
         reload_poll: float = RELOAD_POLL_S,
+        pool_workers: Optional[int] = None,
+        pool_min_nodes: int = POOL_MIN_NODES,
     ) -> None:
         if isinstance(stores, str):
             stores = [stores]
@@ -218,6 +255,14 @@ class QueryDaemon:
         if reload_poll < 0:
             raise ValueError(f"reload_poll must be >= 0, got {reload_poll}")
         self.reload_poll = reload_poll
+        self.pool_workers = (
+            pool_workers if pool_workers is not None else POOL_WORKERS
+        )
+        if self.pool_workers < 0:
+            raise ValueError(
+                f"pool_workers must be >= 0, got {self.pool_workers}"
+            )
+        self.pool_min_nodes = pool_min_nodes
         self.mmap = mmap
         self.workspace = Workspace(strategy=strategy)
         self.mounts: Dict[str, List[str]] = {}
@@ -281,6 +326,16 @@ class QueryDaemon:
             raise ValueError(
                 f"no document bundles usable in {list(stores)!r}{detail}"
             )
+        # The persistent shared-memory pool forks *now*, while this
+        # process is still single-threaded (the event loop, the thread
+        # executor's threads, and the pool's own collector all come
+        # later) -- the one moment a fork is unconditionally safe.
+        self._pool_service = None
+        if self.pool_workers > 0:
+            self._pool_service = self.workspace.service(
+                jobs=self.pool_workers, executor="pool"
+            )
+            self._pool_service.ensure_pool()
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-serve"
         )
@@ -339,6 +394,9 @@ class QueryDaemon:
             "reloads": 0,
             "reload_noops": 0,
             "reload_failures": 0,
+            "pool_batches": 0,
+            "pool_queries": 0,
+            "pool_fallbacks": 0,
         }
 
     # -- bookkeeping ---------------------------------------------------------
@@ -524,6 +582,28 @@ class QueryDaemon:
         and structured HTTP errors pass straight through: they are the
         client's problem, not the document's.
         """
+        if (
+            not with_labels
+            and self._pool_routable(strategy)
+            and self.workspace.engine(document).tree.n >= self.pool_min_nodes
+        ):
+            # An oversized document: let the pool shard it across worker
+            # processes.  (Labelled requests stay on-thread -- labels
+            # must come from the same engine that produced the ids.)
+            try:
+                return self._evaluate_query_pool(
+                    document,
+                    query,
+                    count_only=count_only,
+                    with_stats=with_stats,
+                )
+            except (HttpError, XPathSyntaxError):
+                raise
+            except Exception:
+                # Pool trouble (worker died twice, pool closing mid-
+                # request) must degrade to the thread path, never fail
+                # the client.
+                self._bump("pool_fallbacks")
         t0 = time.perf_counter()
         plan, warm = self._prepared_plan(document, query, strategy)
         t1 = time.perf_counter()
@@ -596,6 +676,70 @@ class QueryDaemon:
             payload["stats"] = result.stats.snapshot()
         return payload
 
+    def _pool_routable(self, strategy: str) -> bool:
+        """Whether this request may run on the shared-memory pool.
+
+        The pool's workers were built with the workspace strategy; a
+        request overriding the strategy keeps the thread path.
+        """
+        return (
+            self._pool_service is not None
+            and strategy == self.workspace.strategy
+        )
+
+    def _evaluate_query_pool(
+        self, document: str, query: str, *, count_only: bool, with_stats: bool
+    ) -> dict:
+        """One oversized query on the worker pool (still one admission slot)."""
+        t0 = time.perf_counter()
+        result = self._pool_service.execute(query, document)
+        self._note_eval_success(document)
+        self._bump("pool_queries")
+        payload = {
+            "document": document,
+            "query": query,
+            "strategy": self.workspace.strategy,
+            "count": len(result.ids),
+            "executor": "pool",
+            "timing_ms": {
+                "total": round((time.perf_counter() - t0) * 1000.0, 4)
+            },
+        }
+        if not count_only:
+            payload["ids"] = list(result.ids)
+        if with_stats:
+            payload["stats"] = result.stats.snapshot()
+        return payload
+
+    def _evaluate_batch_pool(
+        self, document: str, queries: List[str], *, count_only: bool
+    ) -> dict:
+        """A whole batch on the worker pool: one submit, dynamic stealing."""
+        t0 = time.perf_counter()
+        batch = self._pool_service._run_batch([document], queries)[document]
+        self._note_eval_success(document)
+        self._bump("pool_batches")
+        self._bump("pool_queries", len(batch))
+        results = []
+        for query in queries:
+            result = batch[query]
+            entry = {
+                "query": query,
+                "strategy": self.workspace.strategy,
+                "count": len(result.ids),
+            }
+            if not count_only:
+                entry["ids"] = list(result.ids)
+            results.append(entry)
+        return {
+            "document": document,
+            "results": results,
+            "executor": "pool",
+            "timing_ms": {
+                "total": round((time.perf_counter() - t0) * 1000.0, 4)
+            },
+        }
+
     def _evaluate_batch(
         self,
         document: str,
@@ -604,6 +748,15 @@ class QueryDaemon:
         *,
         count_only: bool,
     ) -> dict:
+        if self._pool_routable(strategy):
+            try:
+                return self._evaluate_batch_pool(
+                    document, queries, count_only=count_only
+                )
+            except (HttpError, XPathSyntaxError):
+                raise
+            except Exception:
+                self._bump("pool_fallbacks")
         t0 = time.perf_counter()
         results = [
             self._evaluate(
@@ -1095,6 +1248,21 @@ class QueryDaemon:
                 },
                 "last": self._last_reload,
             },
+            "pool": (
+                {
+                    "enabled": True,
+                    "workers": self.pool_workers,
+                    "min_nodes": self.pool_min_nodes,
+                    "batches": counters["pool_batches"],
+                    "queries": counters["pool_queries"],
+                    "fallbacks": counters["pool_fallbacks"],
+                    # Queue depth, in-flight, steals, warm-hit rate,
+                    # respawns/retries, per-worker task counts.
+                    "health": self._pool_service.pool_stats(),
+                }
+                if self._pool_service is not None
+                else {"enabled": False}
+            ),
             "counters": counters,
             "prepared": prepared,
             "caches": self.workspace.cache_info(),
@@ -1218,8 +1386,9 @@ class QueryDaemon:
         for writer in list(self._connections):
             writer.close()
         self._pool.shutdown(wait=drained, cancel_futures=True)
-        # Workspace.close() shuts QueryService pools (none by default)
-        # and closes every store handle the mount loop adopted.
+        # Workspace.close() shuts every QueryService -- including the
+        # shared-memory worker pool, whose processes are joined (or
+        # terminated past the timeout): no orphans after a drain.
         self.workspace.close()
 
     async def run_async(self, ready=None) -> None:

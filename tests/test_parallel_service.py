@@ -248,6 +248,16 @@ class TestDeterminism:
             assert service.select_many(queries, document="xm") == serial
         ws.close()
 
+    def test_worker_pool_identical(self, xmark_workspace):
+        """The persistent pool executor obeys the same identity contract
+        (its own behaviours -- warmth, stealing, chaos -- live in
+        test_pool.py)."""
+        serial = xmark_workspace.select_many(FIG4_SUBSET, document="xm")
+        with QueryService(
+            xmark_workspace, jobs=2, shards=3, executor="pool"
+        ) as service:
+            assert service.select_many(FIG4_SUBSET, document="xm") == serial
+
     def test_workspace_jobs_fast_path(self, xmark_workspace):
         serial = xmark_workspace.select_many(FIG4_SUBSET, document="xm")
         assert (
@@ -549,6 +559,18 @@ class TestWorkspaceErrorPaths:
         ws = Workspace()
         ws.add("d", "<r><a/><a/></r>")
         service = ws.service(jobs=2, executor="process")
+        assert service.select_many(["//a"], document="d") == {"//a": [1, 2]}
+        ws.remove("d")
+        ws.add("d", "<r><b/><a/></r>")
+        assert service.select_many(["//a"], document="d") == {"//a": [2]}
+        ws.close()
+
+    def test_remove_and_readd_invalidates_worker_pool(self):
+        """An in-memory document shipped at pool start forces a rebuild
+        on re-registration; the rebuilt pool must see the new content."""
+        ws = Workspace()
+        ws.add("d", "<r><a/><a/></r>")
+        service = ws.service(jobs=2, executor="pool")
         assert service.select_many(["//a"], document="d") == {"//a": [1, 2]}
         ws.remove("d")
         ws.add("d", "<r><b/><a/></r>")

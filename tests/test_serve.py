@@ -339,6 +339,73 @@ class TestAdmissionAndTimeouts:
             assert c.query("//a/b", document="tiny")["ids"]
 
 
+class TestPooledDaemon:
+    """``--pool-workers N``: batches on the shared-memory worker pool."""
+
+    @pytest.fixture(scope="class")
+    def pooled(self, corpus):
+        root, _ = corpus
+        with DaemonThread(
+            QueryDaemon(
+                root,
+                workers=2,
+                timeout=30.0,
+                pool_workers=2,
+                pool_min_nodes=1000,
+            )
+        ) as handle:
+            yield handle.daemon
+
+    def test_batch_identical_to_oracle(self, corpus, pooled):
+        _, oracle = corpus
+        with ServeClient(port=pooled.port) as c:
+            out = c.batch(QUERY_MIX, document="xmark")
+        assert out["executor"] == "pool"
+        got = {entry["query"]: entry["ids"] for entry in out["results"]}
+        assert got == {q: oracle[("xmark", q)] for q in QUERY_MIX}
+
+    def test_oversized_query_routes_through_pool(self, corpus, pooled):
+        _, oracle = corpus
+        with ServeClient(port=pooled.port) as c:
+            out = c.query(QUERY_MIX[0], document="xmark")
+            tiny = c.query("//a/b", document="tiny")
+        # xmark (>= pool_min_nodes) goes to the pool; tiny stays on the
+        # warm thread path.
+        assert out["executor"] == "pool"
+        assert out["ids"] == oracle[("xmark", QUERY_MIX[0])]
+        assert "executor" not in tiny
+        assert tiny["ids"] == oracle[("tiny", "//a/b")]
+
+    def test_strategy_override_keeps_thread_path(self, corpus, pooled):
+        _, oracle = corpus
+        with ServeClient(port=pooled.port) as c:
+            out = c.batch(QUERY_MIX[:2], document="xmark", strategy="naive")
+        assert "executor" not in out
+        got = {entry["query"]: entry["ids"] for entry in out["results"]}
+        assert got == {q: oracle[("xmark", q)] for q in QUERY_MIX[:2]}
+
+    def test_stats_expose_pool_health(self, pooled):
+        with ServeClient(port=pooled.port) as c:
+            # Repeated identical batches must start re-hitting the
+            # workers' caches (which chunk lands on which worker is
+            # dynamic, so one repetition is not guaranteed to overlap).
+            for _ in range(4):
+                c.batch(QUERY_MIX, document="xmark")
+                stats = c.stats()
+                if stats["pool"]["health"]["warm_hits"] > 0:
+                    break
+        pool = stats["pool"]
+        assert pool["enabled"] and pool["workers"] == 2
+        assert pool["batches"] >= 1 and pool["fallbacks"] == 0
+        health = pool["health"]
+        assert health["alive"] == 2
+        assert health["tasks"] >= len(QUERY_MIX)
+        assert health["warm_hits"] > 0
+        assert set(health["per_worker"]) == {"0", "1"}
+        for key in ("queue_depth", "in_flight", "steals", "warm_hit_rate"):
+            assert key in health
+
+
 class TestLifecycle:
     def test_startup_failure_surfaces(self, tmp_path):
         with pytest.raises(ValueError, match="no document bundles"):
