@@ -1,0 +1,305 @@
+"""Window-join benchmark: interval joins vs the other evaluators.
+
+Run as pytest (the CI ``window-smoke`` job does, at a small scale)::
+
+    REPRO_BENCH_SCALE=0.2 pytest benchmarks/bench_window.py -q
+
+The mix is the window strategy's home turf plus controls: sibling
+chains (``following-sibling`` windows under shared parents), backward
+axes (``ancestor::``/``parent::`` steps and predicates -- the queries
+the vectorized fragment excludes, which resolve to the step-at-a-time
+mixed pipeline there), and three forward control queries where the
+vectorized evaluator is expected to stay ahead (the planner must not
+route those to ``window`` blindly).
+
+The correctness assertions are blocking -- every strategy must return
+the naive oracle's selected-node set on every query -- while timings
+are recorded into ``BENCH_window.json`` without being asserted
+(wall-clock on shared runners is noise).  Set
+``REPRO_BENCH_ASSERT_WINDOW=1`` on a quiet machine to also assert the
+two targets at scale >= 0.5:
+
+- ``window`` reaches >= 2x geomean over ``vectorized`` on the
+  window-favorable subset (W01-W10);
+- ``auto`` is never worse than 1.1x the best fixed strategy per query.
+
+Timing follows ``bench_planner.py``: adaptive inner loops (~2 ms per
+sample) and rotated round-robin sampling to cancel thermal drift.
+
+Run as a script to (re)generate the committed ``BENCH_window.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+from repro.engine.api import Engine
+from repro.engine.planner import plan_explain
+from repro.index.jumping import TreeIndex
+from repro.xmark.generator import XMarkGenerator
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "9"))
+# Default to a non-tracked path so a smoke run never clobbers the
+# committed artifact (regenerate with `python benchmarks/bench_window.py`).
+OUT = os.environ.get("REPRO_BENCH_OUT", "BENCH_window.smoke.json")
+
+STRATEGIES = ("window", "vectorized", "optimized", "hybrid", "auto")
+FIXED = tuple(s for s in STRATEGIES if s != "auto")
+
+#: Sibling / ancestor / backward-predicate mix plus forward controls.
+#: W04-W09 are outside the vectorized fragment (a ``vectorized`` request
+#: resolves to the mixed pipeline); W01-W03/W10 are sibling joins; the
+#: W11-W13 controls are the set-at-a-time sweet spot.
+QUERIES = {
+    "W01": "//listitem/following-sibling::listitem",
+    "W02": "//bidder/following-sibling::bidder",
+    "W03": "/site/open_auctions/open_auction/bidder/following-sibling::bidder",
+    "W04": "//keyword/ancestor::listitem",
+    "W05": "//emph/ancestor::description",
+    "W06": "//keyword/parent::text",
+    "W07": "//date/ancestor::closed_auction",
+    "W08": "//keyword[ancestor::mail]",
+    "W09": "//text[parent::description]",
+    "W10": "//item[mailbox/mail]/following-sibling::item",
+    "W11": "//listitem//keyword",
+    "W12": "/site//keyword",
+    "W13": "/site/regions/*/item[mailbox/mail/date]/mailbox/mail",
+}
+
+#: The subset the >= 2x geomean-over-vectorized target is measured on:
+#: everything the window joins were built for (the forward controls are
+#: deliberately excluded -- there the two should be within noise).
+WINDOW_FAVORABLE_SUBSET = (
+    "W01", "W02", "W03", "W04", "W05",
+    "W06", "W07", "W08", "W09", "W10",
+)
+
+#: Minimum wall clock one timing sample should spend, so microsecond
+#: queries are averaged over many executions instead of one jittery one.
+#: Longer than ``bench_planner``'s 2 ms: the mix's window runs sit in
+#: the tens-of-microseconds range, where the ``auto <= 1.1x best-fixed``
+#: gate needs sub-5% measurement noise (auto's frozen delegate *is* the
+#: winning strategy's own ``execute``, so any measured gap is jitter).
+SAMPLE_MS = 5.0
+
+
+def _calibrate(plan) -> int:
+    """Executions per timing sample (so one sample spends ~SAMPLE_MS).
+
+    Also warms the plan's tables (the window strategy's depth-bucket
+    LRU in particular) and runs the auto planner's trial/convergence
+    phase to the end, so samples measure steady state.
+    """
+    for _ in range(8):
+        plan.execute()
+    t0 = time.perf_counter()
+    plan.execute()
+    once = time.perf_counter() - t0
+    return min(1000, max(1, int(SAMPLE_MS / 1000.0 / max(once, 1e-9))))
+
+
+def _sample(plan, inner: int) -> float:
+    """One timing sample: per-execution milliseconds over ``inner`` runs."""
+    for _ in range(max(1, min(3, inner))):
+        plan.execute()
+    t0 = time.perf_counter()
+    for _ in range(inner):
+        plan.execute()
+    return (time.perf_counter() - t0) / inner * 1000.0
+
+
+def _time_plans(plans: dict, repeats: int) -> dict:
+    """Best per-execution ms per strategy, samples interleaved and the
+    order rotated each round (cf. ``bench_planner._time_plans``).
+
+    The collector is paused while sampling: each execution allocates a
+    result tuple and counter object, so periodic gen-2 collections
+    otherwise land in random samples and dominate the microsecond-scale
+    spread the ``auto`` gate needs to resolve.
+    """
+    import gc
+
+    inner = {name: _calibrate(plan) for name, plan in plans.items()}
+    best = {name: float("inf") for name in plans}
+    names = list(plans)
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for r in range(repeats):
+            for name in names[r % len(names):] + names[: r % len(names)]:
+                per = _sample(plans[name], inner[name])
+                if per < best[name]:
+                    best[name] = per
+    finally:
+        if was_enabled:
+            gc.enable()
+    return best
+
+
+def _geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def build_report(scale: float = SCALE, repeats: int = REPEATS) -> dict:
+    """Measure the mix; assert oracle identity for every strategy."""
+    index = TreeIndex(XMarkGenerator(scale=scale, seed=42).tree())
+    engine = Engine(index)
+    oracle = {
+        qid: tuple(engine.prepare(q, strategy="naive").execute().ids)
+        for qid, q in QUERIES.items()
+    }
+    report: dict = {
+        "benchmark": (
+            "window-join mix (W01-W13): sibling chains, backward axes, "
+            "backward predicates, and forward controls on XMark"
+        ),
+        "scale": scale,
+        "nodes": index.tree.n,
+        "repeats": repeats,
+        "window_favorable_subset": list(WINDOW_FAVORABLE_SUBSET),
+        "strategies": {s: {} for s in STRATEGIES},
+        "per_query": {},
+    }
+    times: dict = {s: {} for s in STRATEGIES}
+    for qid, q in QUERIES.items():
+        row: dict = {}
+        plans = {s: engine.prepare(q, strategy=s) for s in STRATEGIES}
+        for strat, plan in plans.items():
+            result = plan.execute()
+            assert result.ids == oracle[qid], (
+                f"{strat} disagrees with the naive oracle on {qid}"
+            )
+        measured = _time_plans(plans, repeats)
+        for strat, plan in plans.items():
+            ms = measured[strat]
+            times[strat][qid] = ms
+            stats = plan.execute().stats
+            row[strat] = {
+                "ms": round(ms, 4),
+                # What the request actually resolved to: a ``vectorized``
+                # request for a backward-axis query runs as ``mixed``.
+                "executes_as": plan.strategy.name,
+                "visited": stats.visited,
+                "jumps": stats.jumps,
+                "selected": stats.selected,
+                "oracle_match": True,
+            }
+            if strat == "auto":
+                state = plan.artifacts.get("planner")
+                if state is not None:
+                    row[strat]["chose"] = state.choice.strategy
+                    row[strat]["replans"] = state.replans
+        best_fixed = min(times[s][qid] for s in FIXED)
+        row["auto_vs_best_fixed"] = round(times["auto"][qid] / best_fixed, 3)
+        row["window_vs_vectorized"] = round(
+            times["vectorized"][qid] / times["window"][qid], 3
+        )
+        report["per_query"][qid] = row
+
+    subset_speedups = [
+        times["vectorized"][qid] / times["window"][qid]
+        for qid in WINDOW_FAVORABLE_SUBSET
+    ]
+    report["aggregates"] = {
+        "window_geomean_speedup_vs_vectorized_all": round(
+            _geomean(
+                times["vectorized"][q] / times["window"][q] for q in QUERIES
+            ),
+            3,
+        ),
+        "window_geomean_speedup_vs_vectorized_subset": round(
+            _geomean(subset_speedups), 3
+        ),
+        "window_geomean_speedup_vs_optimized_subset": round(
+            _geomean(
+                times["optimized"][q] / times["window"][q]
+                for q in WINDOW_FAVORABLE_SUBSET
+            ),
+            3,
+        ),
+        "auto_worst_case_vs_best_fixed": round(
+            max(
+                report["per_query"][q]["auto_vs_best_fixed"] for q in QUERIES
+            ),
+            3,
+        ),
+        "auto_geomean_vs_best_fixed": round(
+            _geomean(
+                report["per_query"][q]["auto_vs_best_fixed"] for q in QUERIES
+            ),
+            3,
+        ),
+    }
+    report["planner_choices"] = {
+        qid: plan_explain(engine, q)["planner"]["strategy"]
+        for qid, q in QUERIES.items()
+    }
+    return report
+
+
+def _write(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def test_window_mix_identical_to_oracle():
+    """Blocking: oracle identity for all five strategies; timings recorded."""
+    report = build_report()
+    for qid, row in report["per_query"].items():
+        for strat in STRATEGIES:
+            assert row[strat]["oracle_match"], (strat, qid)
+            assert row[strat]["ms"] > 0
+    _write(report, OUT)
+    if os.environ.get("REPRO_BENCH_ASSERT_WINDOW") == "1":
+        agg = report["aggregates"]
+        assert agg["window_geomean_speedup_vs_vectorized_subset"] >= 2.0, agg
+        assert agg["auto_worst_case_vs_best_fixed"] <= 1.1, agg
+
+
+def test_backward_queries_execute_natively_on_window():
+    """The headline capability: ancestor/parent queries run as window
+    joins (no mixed-pipeline fallback) when requested -- and the auto
+    planner routes them to ``window`` on its own."""
+    index = TreeIndex(XMarkGenerator(scale=min(SCALE, 0.2), seed=42).tree())
+    engine = Engine(index, strategy="auto")
+    for qid in ("W04", "W07"):
+        plan = engine.prepare(QUERIES[qid], strategy="window")
+        assert plan.strategy.name == "window", qid
+        verdict = plan_explain(engine, QUERIES[qid])
+        assert verdict["planner"]["strategy"] == "window", (qid, verdict)
+
+
+def test_auto_keeps_forward_controls_off_window_fallbacks():
+    """On the forward controls the planner may pick any set-at-a-time
+    evaluator, but never the step-at-a-time ones -- the cost model must
+    see through the window strategy's wider fragment."""
+    index = TreeIndex(XMarkGenerator(scale=min(SCALE, 0.2), seed=42).tree())
+    engine = Engine(index, strategy="auto")
+    for qid in ("W11", "W12"):
+        verdict = plan_explain(engine, QUERIES[qid])
+        assert verdict["planner"]["strategy"] in ("vectorized", "window"), (
+            qid,
+            verdict,
+        )
+
+
+if __name__ == "__main__":
+    out = os.environ.get("REPRO_BENCH_OUT", "BENCH_window.json")
+    report = build_report()
+    _write(report, out)
+    for qid in QUERIES:
+        row = report["per_query"][qid]
+        print(
+            f"{qid}: "
+            + " ".join(f"{s}={row[s]['ms']:.4f}ms" for s in STRATEGIES)
+            + f"  win/vec={row['window_vs_vectorized']:.2f}x"
+            + f"  auto/best={row['auto_vs_best_fixed']:.2f}"
+        )
+    print(json.dumps(report["aggregates"], indent=1, sort_keys=True))
+    print(f"wrote {out} (scale={report['scale']}, nodes={report['nodes']})")

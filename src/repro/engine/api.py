@@ -168,6 +168,31 @@ class Engine:
 
     plan_cache_size: int = PLAN_CACHE_SIZE
 
+    def refresh_planner(self, doc_stats: Optional[dict] = None) -> int:
+        """Re-plan every cached ``auto`` plan against current statistics.
+
+        The cost-based planner snapshots document statistics
+        (``index.doc_stats``) at prepare time and, once a plan converges,
+        freezes its delegate so executions bypass the planner entirely.
+        When the underlying document's statistics change -- a daemon
+        hot-reload swapping in a regenerated corpus, or a future
+        in-place delta update -- frozen verdicts can go stale: a plan
+        that froze on ``vectorized`` for a then-selective step keeps
+        running it long after the step stopped being selective.
+
+        ``doc_stats`` (optional) replaces :attr:`index.doc_stats` before
+        re-planning; omit it to re-plan against whatever the index
+        currently reports.  Returns the number of plans whose planner
+        state was rebuilt (non-``auto`` plans are left untouched).
+        """
+        from repro.engine import planner as planner_mod
+
+        if doc_stats is not None:
+            self.index.doc_stats = dict(doc_stats)
+        with self._plans_lock:
+            plans = list(self._plans.values())
+        return sum(1 for plan in plans if planner_mod.refresh_state(plan))
+
     def cache_info(self) -> dict:
         """Statistics of every bounded cache this engine touches.
 

@@ -72,7 +72,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 
 from repro.counters import EvalStats
 from repro.engine import registry
-from repro.engine.pool import PoolTask, WorkerPool
+from repro.engine.pool import LRUPathCache, PoolTask, WorkerPool
 from repro.engine.api import Engine
 from repro.engine.plan import ExecutionResult
 from repro.index.jumping import TreeIndex
@@ -390,13 +390,17 @@ def _worker_engine(doc: str, ordinal: Optional[int]) -> Engine:
 #: Worker-side compiled-path cache, keyed by query string: the same
 #: rewritten query arrives once per shard per batch, and re-running
 #: ``parse_xpath`` for each was pure repeated work in the hot loop.
-_WORKER_PATHS: Dict[str, Path] = {}
+#: LRU-bounded (``REPRO_PATH_CACHE_SIZE``) -- a long-lived process
+#: worker under query churn must not grow one AST per distinct query
+#: forever; ``_WORKER_PATHS.cache_info()`` exposes the eviction count.
+_WORKER_PATHS = LRUPathCache()
 
 
 def _worker_path(path_str: str) -> Path:
     path = _WORKER_PATHS.get(path_str)
     if path is None:
-        path = _WORKER_PATHS[path_str] = parse_xpath(path_str)
+        path = parse_xpath(path_str)
+        _WORKER_PATHS.put(path_str, path)
     return path
 
 

@@ -262,6 +262,16 @@ class PreparedQuery:
             lines.append(planner_state.choice.describe())
         path = self.path
         if path.has_backward_axes():
+            active = getattr(planner_state, "active", None)
+            executes_as = getattr(active, "name", self.strategy.name)
+            if executes_as != "mixed":
+                # The window strategy runs backward axes natively as
+                # reverse containment -- no pipeline split, no automaton.
+                lines.append(
+                    f"{executes_as} plan: backward axes evaluated "
+                    "natively (reverse window containment)"
+                )
+                return "\n".join(lines)
             k = forward_prefix_length(path)
             lines += [
                 "mixed pipeline (backward axes):",

@@ -53,7 +53,7 @@ from repro.xpath.ast import (
 #: Strategies the planner prices against each other.  All accept the
 #: whole forward fragment through their fallback chains, so the chosen
 #: name is always executable.
-CANDIDATES: Tuple[str, ...] = ("vectorized", "optimized", "hybrid")
+CANDIDATES: Tuple[str, ...] = ("vectorized", "window", "optimized", "hybrid")
 
 #: Interpreted per-node work, in units of one numpy array-element touch.
 NODE_WEIGHT = 24.0
@@ -81,6 +81,14 @@ TRIAL_RUNS = 2
 #: Never trial a candidate whose estimated cost exceeds this many touch
 #: units -- probing a catastrophically-priced strategy is not worth it.
 TRIAL_COST_CAP = 2e6
+
+#: Coarse prior on the fraction of a candidate array a depth-bucketed
+#: window join touches on child / attribute / following-sibling steps:
+#: the join probes only the depth buckets adjacent to the frontier, so
+#: with labels spread over a handful of depths a quarter of the array is
+#: a deliberately conservative guess.  Descendant and backward steps pay
+#: the full array, like the vectorized evaluator.
+WINDOW_DEPTH_FACTOR = 0.25
 
 
 # -- feature extraction ------------------------------------------------------
@@ -255,18 +263,42 @@ def estimate_costs(path: Path, features: QueryFeatures) -> Dict[str, float]:
     # loop keys observations by the *active* strategy's name).
     if is_vectorizable(path):
         costs["vectorized"] = VEC_CALL * (3 * ops) + float(touches)
+    # Window joins: child / attribute / following-sibling steps probe
+    # only the depth buckets adjacent to the frontier (a fraction of the
+    # candidate array, WINDOW_DEPTH_FACTOR), descendant and backward
+    # steps pay the full array, and predicates cost their candidate
+    # arrays as in the vectorized match-set construction.  Priced inside
+    # window's native fragment only, for the same feedback-keying reason
+    # as vectorized.
+    from repro.engine.window import is_window_evaluable
+
+    if is_window_evaluable(path):
+        step_touches = sum(
+            cnt * WINDOW_DEPTH_FACTOR
+            if axis in ("child", "attribute", "following-sibling")
+            else float(cnt)
+            for axis, cnt in zip(features.axes, features.step_candidates)
+        )
+        costs["window"] = (
+            VEC_CALL * (3 * ops)
+            + step_touches
+            + float(features.total_pred_candidates)
+        )
     # Node-at-a-time automaton run: jumping restricts the run to roughly
     # the same relevant elements, but each costs an interpreted step.
     # Existence predicates short-circuit on the first witness, bounded
     # here by one frontier's worth of probes per predicate path.
+    # Backward-axis paths resolve away to the mixed pipeline, so pricing
+    # "optimized" there would leave choice and executor out of sync.
     pred_opt = min(
         features.total_pred_candidates,
         (features.min_candidates + features.height)
         * max(1, features.pred_paths),
     )
-    costs["optimized"] = NODE_WEIGHT * (
-        features.total_candidates + pred_opt
-    ) + NODE_WEIGHT * features.steps
+    if not path.has_backward_axes():
+        costs["optimized"] = NODE_WEIGHT * (
+            features.total_candidates + pred_opt
+        ) + NODE_WEIGHT * features.steps
     # Hybrid start-anywhere: only priced inside its fragment -- pivot
     # nodes climb O(height) ancestors (a vectorized pass per level),
     # then the suffix is collected with vectorized range slices.
@@ -298,7 +330,7 @@ def _actual_cost(stats) -> float:
 
 #: Weight of one counter unit per strategy, mapping observations into
 #: the cost model's touch units (default: an interpreted per-node step).
-_OBSERVE_WEIGHT = {"vectorized": 1.0, "hybrid": 1.0}
+_OBSERVE_WEIGHT = {"vectorized": 1.0, "hybrid": 1.0, "window": 1.0}
 
 
 @dataclass
@@ -472,13 +504,20 @@ class AutoStrategy(StrategyBase):
     """Cost-based planner: picks the cheapest strategy per query+document."""
 
     name = "auto"
-    fallback = "mixed"  # backward axes: planning is moot, route directly
+    fallback = "mixed"  # relative backward paths: route directly
     needs_asta = False
     parallel_safe = True
     replan_factor = REPLAN_FACTOR
 
     def supports(self, path: Path) -> bool:
-        return not path.has_backward_axes()
+        # Forward paths are planned across the full candidate set;
+        # absolute backward paths are planned too now that the window
+        # strategy evaluates ancestor/parent natively (the cost table
+        # then prices window alone -- every other candidate would
+        # resolve away through its fallback chain).
+        from repro.engine.window import is_window_evaluable
+
+        return not path.has_backward_axes() or is_window_evaluable(path)
 
     def prepare(self, plan) -> None:
         state = PlannerState.plan(
@@ -486,6 +525,19 @@ class AutoStrategy(StrategyBase):
         )
         plan.artifacts["planner"] = state
         self._bind(plan, state, state.choice.strategy)
+        self._freeze_if_sole_candidate(plan, state)
+
+    @staticmethod
+    def _freeze_if_sole_candidate(plan, state: PlannerState) -> None:
+        """A one-entry cost table (backward paths price ``window``
+        alone) has nothing to trial or adapt: freeze at prepare time so
+        every execution skips the planner wrapper entirely.  Left
+        unfrozen, such a plan could *never* converge -- an estimate
+        persistently out of the feedback band keeps resetting the
+        convergence counter even though no alternative exists."""
+        if len(state.choice.costs) == 1:
+            state.frozen = True
+            plan._execute_impl = state.active.execute
 
     def _bind(self, plan, state: PlannerState, name: str) -> None:
         """Resolve and warm the chosen strategy on the plan.
@@ -551,6 +603,38 @@ class AutoStrategy(StrategyBase):
             # frozen state takes no further observations anyway).
             plan._execute_impl = state.active.execute
         return result
+
+
+def refresh_state(plan) -> bool:
+    """Re-plan one prepared ``auto`` plan against *current* document
+    statistics, discarding frozen dispatch and stale observations.
+
+    A plan that converged against one generation of a document carries
+    per-label selectivities (and possibly a frozen ``_execute_impl``
+    delegate) that no longer describe the document after a store swap or
+    an in-place mutation.  This rebuilds the :class:`PlannerState` from
+    a fresh feature extraction, restores the planner wrapper as the
+    plan's dispatch target, and re-binds the newly cheapest strategy --
+    the warm compiled artifacts (ASTA, run tables) stay, only the
+    adaptive state restarts.  Returns ``True`` when the plan carried a
+    planner state (i.e. was prepared under ``auto``).
+    """
+    state = plan.artifacts.get("planner")
+    if not isinstance(state, PlannerState):
+        return False
+    auto = plan.strategy
+    if not isinstance(auto, AutoStrategy):
+        auto = registry.get_strategy("auto")
+    fresh = PlannerState.plan(
+        plan.path,
+        plan.engine.index,
+        replan_factor=getattr(auto, "replan_factor", REPLAN_FACTOR),
+    )
+    plan.artifacts["planner"] = fresh
+    plan._execute_impl = plan.strategy.execute  # undo a frozen delegate
+    auto._bind(plan, fresh, fresh.choice.strategy)
+    AutoStrategy._freeze_if_sole_candidate(plan, fresh)
+    return True
 
 
 def planner_fields(plan) -> dict:

@@ -84,6 +84,64 @@ CHUNK_SLACK = 4
 #: Liveness-poll interval of the collector thread, seconds.
 _POLL_S = 0.1
 
+#: Bound on worker-side compiled-path caches (the persistent pool's
+#: per-worker cache and the process executor's module-level cache) --
+#: the ``FUSED_CACHE_SIZE``-style env knob.  Under query churn an
+#: unbounded cache grows one parsed AST per distinct rewritten query
+#: for the life of the worker.
+PATH_CACHE_SIZE = int(os.environ.get("REPRO_PATH_CACHE_SIZE", "256"))
+
+
+class LRUPathCache:
+    """A tiny bounded mapping for worker-side compiled query paths.
+
+    Plain OrderedDict recency tracking (the ``LabelIndex.fused`` idiom,
+    minus the lock -- each cache is confined to one worker process or
+    the process-executor's single initializer context).  Eviction and
+    hit/miss counts are kept so the parent can surface cache pressure
+    through :meth:`WorkerPool.stats` / ``pool_stats()``.
+    """
+
+    __slots__ = ("max_size", "_data", "hits", "misses", "evictions")
+
+    def __init__(self, max_size: Optional[int] = None) -> None:
+        from collections import OrderedDict
+
+        self.max_size = PATH_CACHE_SIZE if max_size is None else max_size
+        self._data: "OrderedDict" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        data[key] = value
+        data.move_to_end(key)
+        while len(data) > self.max_size:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def cache_info(self) -> dict:
+        return {
+            "size": len(self._data),
+            "max_size": self.max_size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
 
 class PoolError(RuntimeError):
     """Base class for worker-pool failures."""
@@ -226,7 +284,8 @@ class _WorkerState:
         self.indexes: dict = {}
         self.engines: dict = {}
         self.stored: dict = {}
-        self.paths: dict = {}
+        self.paths = LRUPathCache()
+        self._evictions_reported = 0
 
     def _purge_doc(self, doc: str) -> None:
         """Drop every cache derived from ``doc`` (generation change)."""
@@ -265,7 +324,11 @@ class _WorkerState:
         return index
 
     def run(self, subtask: tuple) -> tuple:
-        """One subtask; returns ``(int64 ids, stats dict, accepted, warm)``."""
+        """One subtask; returns
+        ``(int64 ids, stats dict, accepted, warm, path evictions)`` --
+        the last element is the delta of compiled-path LRU evictions
+        since this worker's previous report (the parent accumulates it
+        into the pool-wide ``path_evictions`` counter)."""
         from repro import faults
         from repro.engine.api import Engine
         from repro.engine.parallel import _run_paths
@@ -291,15 +354,18 @@ class _WorkerState:
             if path is None:
                 warm = False
                 path = parse_xpath(path_str)
-                self.paths[path_str] = path
+                self.paths.put(path_str, path)
             paths.append(path)
         faults.check("pool.task", document=doc, worker=self.wid)
         ids, stats, accepted = _run_paths(engine, paths, offset)
+        evictions = self.paths.evictions - self._evictions_reported
+        self._evictions_reported = self.paths.evictions
         return (
             np.asarray(ids, dtype=np.int64),
             stats.snapshot(),
             accepted,
             warm,
+            evictions,
         )
 
 
@@ -421,6 +487,7 @@ class WorkerPool:
             "steals": 0,
             "warm_hits": 0,
             "cold_misses": 0,
+            "path_evictions": 0,
             "respawns": 0,
             "retries": 0,
             "failures": 0,
@@ -573,11 +640,12 @@ class WorkerPool:
                     warm = part[3]
                     key = "warm_hits" if warm else "cold_misses"
                     self.counters[key] += 1
+                    self.counters["path_evictions"] += int(part[4])
             else:
                 self.counters["failures"] += len(chunk.tasks)
         if kind == "done":
             for future, part in zip(chunk.futures, payload):
-                ids, stats, accepted, _warm = part
+                ids, stats, accepted, _warm, _evictions = part
                 future._set((ids.tolist(), stats, accepted))
         else:
             exc = PoolTaskError(f"pool task failed in worker {wid}: {payload}")
@@ -658,6 +726,7 @@ class WorkerPool:
             )
             if answered
             else 0.0,
+            "path_evictions": counters["path_evictions"],
             "respawns": counters["respawns"],
             "retries": counters["retries"],
             "failures": counters["failures"],

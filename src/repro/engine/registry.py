@@ -5,10 +5,10 @@ capability (:meth:`Strategy.supports`), an optional ``fallback`` strategy
 name, and an :meth:`Strategy.execute` method that runs a prepared
 :class:`~repro.engine.plan.QueryPlan` against a
 :class:`~repro.index.jumping.TreeIndex`.  Strategies self-register with
-the :func:`register_strategy` decorator; the nine built-in strategies
+the :func:`register_strategy` decorator; the ten built-in strategies
 (``naive``, ``jumping``, ``memo``, ``optimized``, ``hybrid``,
-``deterministic``, ``mixed``, ``vectorized``, and the cost-based
-``auto`` planner) live in their own modules under
+``deterministic``, ``mixed``, ``vectorized``, ``window``, and the
+cost-based ``auto`` planner) live in their own modules under
 :mod:`repro.engine` and register on import.
 
 Dispatch is uniform: :func:`resolve` walks the fallback chain until it
@@ -202,6 +202,7 @@ def _load_builtins() -> None:
         naive,
         optimized,
         planner,
+        window,
     )
 
 

@@ -1,0 +1,624 @@
+"""Window joins: the XPath-accelerator strategy over pre/post columns.
+
+The staircase-join line of work evaluates XPath axes relationally: give
+every node its preorder rank ``pre`` (our node id) and postorder rank
+``post``, and each axis becomes a two-dimensional *window* predicate on
+the (pre, post) plane -- ``u`` is an ancestor of ``v`` iff
+``pre(u) < pre(v)`` and ``post(u) > post(v)``.  Because subtree ranges
+either nest or are disjoint, the window of a context node projects onto
+the sorted preorder axis as the half-open interval ``[v, xml_end[v])``
+(with ``post`` supplying the third coordinate, node depth, for free:
+``depth = xml_end - 1 - post``).  Every location step then reduces to a
+sorted-array interval join:
+
+- **descendant** is window containment after *staircase pruning*: the
+  running maximum of ``xml_end`` drops context windows covered by an
+  already-accepted ancestor window (the shrunken-window rule), leaving
+  pairwise-disjoint intervals that one batched binary search resolves;
+- **child** is containment plus depth equality: frontier nodes of equal
+  depth have pairwise-disjoint windows, so one searchsorted pass per
+  frontier depth group -- probing only the candidate *depth bucket*
+  ``d + 1`` -- finds every child;
+- **following-sibling** joins right-adjacent windows under a shared
+  parent: per unique parent ``p`` the window
+  ``[xml_end[min child], xml_end[p])`` at depth ``depth(p) + 1``
+  contains exactly the qualifying siblings;
+- **ancestor** (a backward axis -- *outside* the vectorized fragment)
+  inverts containment: a candidate qualifies iff the frontier has an
+  element strictly inside its window, a two-sided ``searchsorted``
+  count; **parent** additionally pins the depth.
+
+Empty windows exit each step early, and predicates reuse the
+back-to-front mask construction of :mod:`repro.engine.frontier` with
+window-count primitives -- two-sided ``searchsorted`` over depth buckets
+-- instead of subtree re-enumeration, which also buys native backward
+axes (``ancestor::``/``parent::``) inside predicates.
+
+The per-document state (the ``post``/``depth`` columns plus an LRU of
+depth-bucketed candidate arrays keyed by label-id set) lives in a
+:class:`WindowEncoding` cached on the :class:`~repro.index.jumping.TreeIndex`
+-- shard slices build their own from local coordinates, and store
+bundles persist the ``post`` column as an optional array so mmap-opened
+corpora skip the derivation entirely.
+
+Counters follow the vectorized redefinition (see ``frontier.py``), with
+one refinement: ``visited`` counts the candidate elements a join
+actually touches -- a depth-bucketed child step books only its bucket
+slices, which is exactly the advantage the planner's feedback loop
+should see.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.counters import EvalStats
+from repro.engine.registry import StrategyBase, register_strategy
+from repro.index.jumping import TreeIndex
+from repro.xpath.ast import (
+    Axis,
+    Path,
+    Pred,
+    PredAnd,
+    PredNot,
+    PredOr,
+    PredPath,
+    Step,
+)
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+#: Bound on cached depth-bucket partitions per document (the same
+#: env-knob idiom as ``REPRO_FUSED_CACHE_SIZE``).
+BUCKET_CACHE_SIZE = int(os.environ.get("REPRO_WINDOW_BUCKET_CACHE_SIZE", "256"))
+
+
+def is_window_evaluable(path: Path) -> bool:
+    """The fragment this evaluator covers natively: every *absolute*
+    path, forward or backward -- ancestor/parent steps are first-class
+    window predicates here, which makes ``window`` the only set-at-a-time
+    strategy whose fragment strictly contains the vectorized one."""
+    return path.absolute and bool(path.steps)
+
+
+# -- per-document encoding ---------------------------------------------------
+
+
+class DepthBuckets:
+    """One sorted candidate array partitioned by node depth.
+
+    ``ids`` holds the candidates reordered by ``(depth, pre)`` (a stable
+    argsort keeps preorder inside each depth run), so the candidates at
+    one depth are a contiguous, preorder-sorted slice -- the unit the
+    child / following-sibling joins probe instead of the whole array.
+    """
+
+    __slots__ = ("ids", "depths", "bounds")
+
+    def __init__(self, cand: np.ndarray, depth: np.ndarray) -> None:
+        d = depth[cand]
+        order = np.argsort(d, kind="stable")
+        self.ids = cand[order]
+        d = d[order]
+        vals, starts = np.unique(d, return_index=True)
+        self.depths = vals
+        self.bounds = np.append(starts, d.size)
+
+    def at(self, d: int) -> np.ndarray:
+        """The candidates at depth ``d``, sorted by preorder id."""
+        i = np.searchsorted(self.depths, d)
+        if i >= self.depths.size or self.depths[i] != d:
+            return _EMPTY
+        return self.ids[self.bounds[i] : self.bounds[i + 1]]
+
+
+class WindowEncoding:
+    """Per-document window-join state, cached on the :class:`TreeIndex`.
+
+    Holds the ``post``/``depth`` columns (materialized lazily by the
+    index, or seeded from a store bundle's optional ``post`` array) and
+    an LRU of :class:`DepthBuckets` keyed by the label-id set of a
+    step's node test -- repeated executions of a prepared plan touch
+    only the relevant depth slices, never re-partitioning.  Thread-safe
+    for the parallel service's pool threads; the lock is dropped on
+    pickling (process workers rebuild their own encoding).
+    """
+
+    def __init__(self, index: TreeIndex) -> None:
+        self.index = index
+        self.post = index.post_array()
+        self.depth = index.depth_array()
+        self._buckets: "OrderedDict[Tuple[int, ...], DepthBuckets]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.bucket_hits = 0
+        self.bucket_misses = 0
+        self.bucket_evictions = 0
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def cache_info(self) -> dict:
+        return {
+            "size": len(self._buckets),
+            "max_size": BUCKET_CACHE_SIZE,
+            "hits": self.bucket_hits,
+            "misses": self.bucket_misses,
+            "evictions": self.bucket_evictions,
+        }
+
+    def buckets(self, key: Tuple[int, ...], cand: np.ndarray) -> DepthBuckets:
+        """The depth partition of one candidate array (LRU-cached)."""
+        with self._lock:
+            b = self._buckets.get(key)
+            if b is not None:
+                self._buckets.move_to_end(key)
+                self.bucket_hits += 1
+                return b
+        b = DepthBuckets(cand, self.depth)
+        with self._lock:
+            self.bucket_misses += 1
+            self._buckets[key] = b
+            while len(self._buckets) > BUCKET_CACHE_SIZE:
+                self._buckets.popitem(last=False)
+                self.bucket_evictions += 1
+        return b
+
+
+def get_encoding(index: TreeIndex) -> WindowEncoding:
+    """The index's cached :class:`WindowEncoding` (built on first use).
+
+    Shard slices are fresh :class:`TreeIndex` instances, so each shard
+    lazily derives its own local columns -- the depth identity holds in
+    any re-rooted slice.
+    """
+    enc = getattr(index, "_window_enc", None)
+    if enc is None:
+        enc = index._window_enc = WindowEncoding(index)
+    return enc
+
+
+# -- evaluation --------------------------------------------------------------
+
+
+def evaluate(
+    query: "str | Path",
+    index: TreeIndex,
+    stats: Optional[EvalStats] = None,
+) -> Tuple[bool, List[int]]:
+    """Evaluate via window joins; returns ``(accepted, selected ids)``."""
+    if isinstance(query, str):
+        from repro.xpath.parser import parse_xpath
+
+        path = parse_xpath(query)
+    else:
+        path = query
+    if not is_window_evaluable(path):
+        raise ValueError(
+            f"query {str(path)!r} is outside the window-join fragment "
+            "(absolute paths only)"
+        )
+    enc = get_encoding(index)
+    frontier = _eval_steps(enc, path.steps, None, stats)
+    ids = frontier.tolist()
+    if stats is not None:
+        stats.selected += len(ids)
+    return bool(ids), ids
+
+
+def _eval_steps(
+    enc: WindowEncoding,
+    steps: tuple,
+    frontier: Optional[np.ndarray],
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Run location steps over a frontier (``None`` = the document node);
+    an empty window after any step exits the whole chain early."""
+    for step in steps:
+        frontier = _eval_step(enc, step, frontier, stats)
+        if frontier.size == 0:
+            return _EMPTY
+    return frontier if frontier is not None else _EMPTY
+
+
+def _eval_step(
+    enc: WindowEncoding,
+    step: Step,
+    frontier: Optional[np.ndarray],
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    index = enc.index
+    cand, key = _candidates(index, step.axis, step.test)
+    if stats is not None:
+        stats.jumps += 1
+    if cand.size == 0:
+        return _EMPTY
+    if frontier is None:
+        # The implicit document node: its only child is the root, its
+        # descendants are every node; no siblings, attributes, parent,
+        # or ancestors.
+        if step.axis is Axis.CHILD:
+            out = cand[:1] if cand.size and cand[0] == 0 else _EMPTY
+        elif step.axis is Axis.DESCENDANT:
+            out = cand
+        else:
+            out = _EMPTY
+        if stats is not None:
+            stats.visited += int(out.size)
+    elif step.axis in (Axis.CHILD, Axis.ATTRIBUTE):
+        out = _child_join(enc, key, cand, frontier, stats)
+    elif step.axis is Axis.DESCENDANT:
+        out = _descendant_join(enc, cand, frontier, stats)
+    elif step.axis is Axis.FOLLOWING_SIBLING:
+        out = _sibling_join(enc, key, cand, frontier, stats)
+    elif step.axis is Axis.ANCESTOR:
+        out = _ancestor_join(enc, cand, frontier, stats)
+    elif step.axis is Axis.PARENT:
+        out = _parent_join(enc, cand, frontier, stats)
+    else:  # pragma: no cover - the Axis enum is exhausted above
+        raise AssertionError(step.axis)
+    if step.predicate is not None and out.size:
+        out = out[_pred_mask(enc, step.predicate, out, stats)]
+    return out
+
+
+def _candidates(
+    index: TreeIndex, axis: Axis, test: str
+) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Sorted candidate ids for a node test, plus the label-id cache key
+    the depth-bucket LRU uses (same test resolution as ``frontier.py``)."""
+    from repro.engine.frontier import test_label_names
+
+    names = test_label_names(index.tree.labels, axis, test)
+    label_ids = index.label_ids(names)
+    if not label_ids:
+        return _EMPTY, ()
+    key = tuple(sorted(label_ids))
+    if len(label_ids) == 1:
+        return index.labels.nodes_array(index.tree.labels[label_ids[0]]), key
+    return index.fused(label_ids).arr, key
+
+
+def _merge_pieces(pieces: List[np.ndarray]) -> np.ndarray:
+    """Re-sort per-depth-group results into one preorder-sorted array.
+
+    The groups are disjoint node sets, so a sort of the (usually small)
+    output is all that is needed to restore document order.
+    """
+    if not pieces:
+        return _EMPTY
+    if len(pieces) == 1:
+        return pieces[0]
+    return np.sort(np.concatenate(pieces))
+
+
+# -- axis joins --------------------------------------------------------------
+
+
+def _child_join(
+    enc: WindowEncoding,
+    key: Tuple[int, ...],
+    cand: np.ndarray,
+    frontier: np.ndarray,
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Containment + depth equality, one pass per frontier depth group.
+
+    Same-depth frontier windows are pairwise disjoint (equal-depth nodes
+    never nest), so within a group every depth-``d+1`` candidate lies in
+    at most one window -- no staircase needed, and pruning would be
+    wrong: a nested frontier node's children must still match.
+    """
+    xml_end = enc.index.xml_end_array()
+    buckets = enc.buckets(key, cand)
+    fd = enc.depth[frontier]
+    pieces: List[np.ndarray] = []
+    for d in np.unique(fd):
+        g = frontier[fd == d]
+        sub = buckets.at(int(d) + 1)
+        if sub.size == 0:
+            continue
+        if stats is not None:
+            stats.jumps += 1
+            stats.visited += int(sub.size)
+            stats.index_probes += int(sub.size)
+        j = np.searchsorted(g, sub, side="right") - 1
+        clipped = np.maximum(j, 0)
+        ok = (j >= 0) & (sub < xml_end[g[clipped]])
+        if ok.any():
+            pieces.append(sub[ok])
+    return _merge_pieces(pieces)
+
+
+def _descendant_join(
+    enc: WindowEncoding,
+    cand: np.ndarray,
+    frontier: np.ndarray,
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Window containment over staircase-pruned context windows.
+
+    The shrunken-window rule: a context window covered by an already-
+    accepted ancestor window contributes no new descendants, so the
+    running maximum of ``xml_end`` drops it; the survivors are disjoint
+    and one batched binary search locates every candidate.
+    """
+    xml_end = enc.index.xml_end_array()
+    ends = xml_end[frontier]
+    if frontier.size > 1:
+        keep = np.empty(frontier.size, dtype=bool)
+        keep[0] = True
+        np.greater_equal(
+            frontier[1:], np.maximum.accumulate(ends)[:-1], out=keep[1:]
+        )
+        frontier = frontier[keep]
+        ends = ends[keep]
+    if stats is not None:
+        stats.jumps += 1
+        stats.visited += int(cand.size)
+        stats.index_probes += int(cand.size)
+    j = np.searchsorted(frontier, cand, side="right") - 1
+    clipped = np.maximum(j, 0)
+    return cand[(j >= 0) & (cand > frontier[clipped]) & (cand < ends[clipped])]
+
+
+def _sibling_join(
+    enc: WindowEncoding,
+    key: Tuple[int, ...],
+    cand: np.ndarray,
+    frontier: np.ndarray,
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Right-adjacent windows under a shared parent.
+
+    For each unique frontier parent ``p`` the qualifying siblings are
+    exactly the depth-``depth(p)+1`` nodes in
+    ``[xml_end[min frontier child of p], xml_end[p])``: the window sits
+    inside ``p``'s subtree, and the only depth-``depth(p)+1`` nodes
+    there are ``p``'s own children, past the first frontier child's
+    subtree.  Same-depth parents have disjoint, ascending windows, so
+    the join is again one searchsorted pass per parent depth group.
+    """
+    index = enc.index
+    parent = index.parent_array()
+    xml_end = index.xml_end_array()
+    fp = parent[frontier]
+    rooted = fp >= 0
+    if not rooted.all():
+        frontier = frontier[rooted]
+        fp = fp[rooted]
+    if frontier.size == 0:
+        return _EMPTY
+    uniq_p, first = np.unique(fp, return_index=True)
+    starts = xml_end[frontier[first]]  # first frontier child's subtree end
+    ends = xml_end[uniq_p]
+    pd = enc.depth[uniq_p]
+    buckets = enc.buckets(key, cand)
+    pieces: List[np.ndarray] = []
+    for d in np.unique(pd):
+        sel = pd == d
+        g_starts = starts[sel]
+        g_ends = ends[sel]
+        sub = buckets.at(int(d) + 1)
+        if sub.size == 0:
+            continue
+        if stats is not None:
+            stats.jumps += 1
+            stats.visited += int(sub.size)
+            stats.index_probes += int(sub.size)
+        j = np.searchsorted(g_starts, sub, side="right") - 1
+        clipped = np.maximum(j, 0)
+        ok = (j >= 0) & (sub < g_ends[clipped])
+        if ok.any():
+            pieces.append(sub[ok])
+    return _merge_pieces(pieces)
+
+
+def _ancestor_join(
+    enc: WindowEncoding,
+    cand: np.ndarray,
+    frontier: np.ndarray,
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Reverse containment: ``c`` is an ancestor of a frontier node iff
+    the frontier intersects ``c``'s window ``(c, xml_end[c])`` -- a
+    two-sided searchsorted count per candidate.  This is the native
+    backward axis the vectorized fragment lacks."""
+    xml_end = enc.index.xml_end_array()
+    if stats is not None:
+        stats.jumps += 1
+        stats.visited += int(cand.size)
+        stats.index_probes += 2 * int(cand.size)
+    lo = np.searchsorted(frontier, cand, side="right")
+    hi = np.searchsorted(frontier, xml_end[cand], side="left")
+    return cand[hi > lo]
+
+
+def _parent_join(
+    enc: WindowEncoding,
+    cand: np.ndarray,
+    frontier: np.ndarray,
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Ancestor containment pinned to one level: membership of the
+    candidates in the frontier's (deduplicated) parent set."""
+    parent = enc.index.parent_array()
+    ps = parent[frontier]
+    ps = np.unique(ps[ps >= 0])
+    if stats is not None:
+        stats.visited += int(cand.size)
+    return cand[_in_sorted(cand, ps, stats)]
+
+
+def _in_sorted(
+    values: np.ndarray,
+    sorted_arr: np.ndarray,
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Membership mask of ``values`` in a sorted duplicate-free array."""
+    if stats is not None:
+        stats.jumps += 1
+        stats.index_probes += int(values.size)
+    if sorted_arr.size == 0:
+        return np.zeros(values.size, dtype=bool)
+    pos = np.searchsorted(sorted_arr, values)
+    clipped = np.minimum(pos, sorted_arr.size - 1)
+    return (pos < sorted_arr.size) & (sorted_arr[clipped] == values)
+
+
+# -- predicates as window counts ---------------------------------------------
+
+
+def _pred_mask(
+    enc: WindowEncoding,
+    pred: Pred,
+    nodes: np.ndarray,
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Boolean mask over ``nodes``: which satisfy the predicate."""
+    if isinstance(pred, PredAnd):
+        left = _pred_mask(enc, pred.left, nodes, stats)
+        return left & _pred_mask(enc, pred.right, nodes, stats)
+    if isinstance(pred, PredOr):
+        left = _pred_mask(enc, pred.left, nodes, stats)
+        return left | _pred_mask(enc, pred.right, nodes, stats)
+    if isinstance(pred, PredNot):
+        return ~_pred_mask(enc, pred.inner, nodes, stats)
+    if isinstance(pred, PredPath):
+        path = pred.path
+        if path.absolute:
+            result = _eval_steps(enc, path.steps, None, stats)
+            return np.full(nodes.size, bool(result.size), dtype=bool)
+        if not path.steps:
+            return np.ones(nodes.size, dtype=bool)  # '.' always exists
+        matches = _match_set(enc, path.steps, stats)
+        return _witness_mask(enc, path.steps[0].axis, nodes, matches, stats)
+    raise AssertionError(pred)
+
+
+def _match_set(
+    enc: WindowEncoding, steps: tuple, stats: Optional[EvalStats]
+) -> np.ndarray:
+    """Nodes matching ``steps[0]`` from which ``steps[1:]`` matches,
+    built back to front exactly as in ``frontier.py`` -- but each
+    successor probe is a window count, so backward axes inside
+    predicates stay native."""
+    matches: Optional[np.ndarray] = None
+    for i in range(len(steps) - 1, -1, -1):
+        step = steps[i]
+        cand, _key = _candidates(enc.index, step.axis, step.test)
+        if stats is not None:
+            stats.visited += int(cand.size)
+            stats.jumps += 1
+        if step.predicate is not None and cand.size:
+            cand = cand[_pred_mask(enc, step.predicate, cand, stats)]
+        if matches is not None and cand.size:
+            cand = cand[
+                _witness_mask(enc, steps[i + 1].axis, cand, matches, stats)
+            ]
+        matches = cand
+        if matches.size == 0:
+            return _EMPTY
+    return matches
+
+
+def _witness_mask(
+    enc: WindowEncoding,
+    axis: Axis,
+    nodes: np.ndarray,
+    targets: np.ndarray,
+    stats: Optional[EvalStats],
+) -> np.ndarray:
+    """Which of ``nodes`` have an ``axis``-successor inside ``targets``,
+    as two-sided searchsorted window counts (no subtree re-enumeration)."""
+    if targets.size == 0:
+        return np.zeros(nodes.size, dtype=bool)
+    index = enc.index
+    xml_end = index.xml_end_array()
+    if axis is Axis.DESCENDANT:
+        if stats is not None:
+            stats.jumps += 1
+            stats.index_probes += 2 * int(nodes.size)
+        lo = np.searchsorted(targets, nodes, side="right")
+        hi = np.searchsorted(targets, xml_end[nodes], side="left")
+        return hi > lo
+    if axis is Axis.ANCESTOR:
+        # Ancestors of v in T: {t < v} minus {xml_end[t] <= v} (a subtree
+        # closing at or before v lies entirely before it; any other
+        # earlier window must contain v).
+        if stats is not None:
+            stats.jumps += 1
+            stats.index_probes += 2 * int(nodes.size)
+        t_ends = np.sort(xml_end[targets])
+        before = np.searchsorted(targets, nodes, side="left")
+        closed = np.searchsorted(t_ends, nodes, side="right")
+        return before > closed
+    if axis is Axis.PARENT:
+        return _in_sorted(index.parent_array()[nodes], targets, stats)
+    depth = enc.depth
+    nd = depth[nodes]
+    tb = DepthBuckets(targets, depth)
+    mask = np.zeros(nodes.size, dtype=bool)
+    if axis in (Axis.CHILD, Axis.ATTRIBUTE):
+        # A target child of v is a depth[v]+1 target inside v's window.
+        for d in np.unique(nd):
+            sub = tb.at(int(d) + 1)
+            if sub.size == 0:
+                continue
+            sel = nd == d
+            vs = nodes[sel]
+            if stats is not None:
+                stats.jumps += 1
+                stats.index_probes += 2 * int(vs.size)
+            lo = np.searchsorted(sub, vs, side="right")
+            hi = np.searchsorted(sub, xml_end[vs], side="left")
+            mask[sel] = hi > lo
+        return mask
+    if axis is Axis.FOLLOWING_SIBLING:
+        # A following sibling of v is a depth[v] target in the window
+        # [xml_end[v], xml_end[parent[v]]).
+        parent = index.parent_array()
+        pv = parent[nodes]
+        rooted = pv >= 0
+        for d in np.unique(nd[rooted]):
+            sub = tb.at(int(d))
+            if sub.size == 0:
+                continue
+            sel = rooted & (nd == d)
+            vs = nodes[sel]
+            if stats is not None:
+                stats.jumps += 1
+                stats.index_probes += 2 * int(vs.size)
+            lo = np.searchsorted(sub, xml_end[vs], side="left")
+            hi = np.searchsorted(sub, xml_end[pv[sel]], side="left")
+            mask[sel] = hi > lo
+        return mask
+    raise AssertionError(axis)  # pragma: no cover - the Axis enum is exhausted
+
+
+@register_strategy
+class WindowStrategy(StrategyBase):
+    """Pre/post window joins with staircase pruning (XPath accelerator)."""
+
+    name = "window"
+    fallback = "optimized"  # relative paths route through the automata
+    needs_asta = False
+    parallel_safe = True
+
+    def supports(self, path: Path) -> bool:
+        return is_window_evaluable(path)
+
+    def execute(self, plan, index, stats):
+        return evaluate(plan.path, index, stats)

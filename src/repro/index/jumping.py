@@ -28,6 +28,30 @@ OMEGA = -2
 """The error node Ω of Definition 3.2 (distinct from the # sentinel)."""
 
 
+def postorder_from_xml_end(xml_end):
+    """Postorder rank per node, derived from subtree end offsets alone.
+
+    Node ids are preorder ranks and the XML subtree of ``v`` is the id
+    range ``[v, xml_end[v])``, so a node *completes* (in postorder) when
+    its subtree range closes: ascending ``xml_end``, with descending
+    preorder id breaking ties (a node and its last-descendant chain all
+    close at the same offset, deepest first).  One ``np.lexsort`` gives
+    the completion order; scattering ``arange`` through it yields the
+    rank array.  Used by :meth:`TreeIndex.post_array` and by
+    :func:`repro.store.store.save_document` when persisting the optional
+    ``post`` bundle column.
+    """
+    import numpy as np
+
+    xml_end = np.asarray(xml_end, dtype=np.int64)
+    n = xml_end.size
+    pre = np.arange(n, dtype=np.int64)
+    order = np.lexsort((-pre, xml_end))
+    post = np.empty(n, dtype=np.int64)
+    post[order] = pre
+    return post
+
+
 class TreeIndex:
     """Bundles a :class:`BinaryTree` with its label index and jump functions."""
 
@@ -111,6 +135,40 @@ class TreeIndex:
 
             arr = self._parent_arr = np.asarray(
                 self.tree.parent, dtype=np.int64
+            )
+        return arr
+
+    def post_array(self):
+        """Postorder rank per node as a cached ``np.int64`` array.
+
+        Together with the preorder id this is the classic XPath-
+        accelerator pre/post plane: ``u`` is an ancestor of ``v`` iff
+        ``pre(u) < pre(v)`` and ``post(u) > post(v)``.  Store bundles
+        persist this column as an optional array
+        (:data:`repro.store.format.OPTIONAL_ARRAY_DTYPES`), in which case
+        :func:`repro.store.store.open_document` seeds ``_post_arr`` and
+        the rebuild below never runs; bundles written before the column
+        existed (or freshly parsed documents) derive it lazily in one
+        ``np.lexsort`` pass.
+        """
+        arr = getattr(self, "_post_arr", None)
+        if arr is None:
+            arr = self._post_arr = postorder_from_xml_end(
+                self.xml_end_array()
+            )
+        return arr
+
+    def depth_array(self):
+        """Node depth (root = 0) as a cached ``np.int64`` array.
+
+        Free given the postorder column: ``post = pre + size - 1 - depth``
+        and ``size = xml_end - pre``, hence ``depth = xml_end - 1 - post``
+        -- one vectorized subtraction, no tree walk.
+        """
+        arr = getattr(self, "_depth_arr", None)
+        if arr is None:
+            arr = self._depth_arr = (
+                self.xml_end_array() - 1 - self.post_array()
             )
         return arr
 

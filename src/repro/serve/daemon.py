@@ -986,6 +986,15 @@ class QueryDaemon:
                 self._doc_versions[name] = (
                     self._doc_versions.get(name, 0) + 1
                 )
+                if name in self.workspace:
+                    # Re-plan any cached ``auto`` plans against the new
+                    # bundle's statistics.  A swap installs a fresh
+                    # engine (empty plan cache), so today this is a
+                    # no-op guard; it exists so a future in-place delta
+                    # update -- which mutates an engine instead of
+                    # swapping it -- cannot leave frozen planner
+                    # verdicts keyed to the old document's shape.
+                    self.workspace.engine(name).refresh_planner()
                 with self._counters_lock:
                     self._doc_failures.pop(name, None)
                     self._quarantined.pop(name, None)

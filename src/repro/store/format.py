@@ -98,6 +98,17 @@ ARRAY_DTYPES: Dict[str, str] = {
     "bp_block_start_excess": "int64",
 }
 
+#: Additive arrays a bundle *may* contain, with their expected dtypes.
+#: Optional columns keep the format at v2: a bundle written before a
+#: column existed still opens (the reader rebuilds the column on
+#: demand), and an old reader meeting a new bundle would reject only
+#: genuinely unknown arrays.  ``post`` is the postorder rank column the
+#: window-join strategy consumes (see
+#: :func:`repro.index.jumping.postorder_from_xml_end`).
+OPTIONAL_ARRAY_DTYPES: Dict[str, str] = {
+    "post": "int64",
+}
+
 _PUBLISH_SEQ = 0
 
 
@@ -215,7 +226,7 @@ def write_bundle(
     (:meth:`repro.store.store.DocumentStore.compact`).
     """
     missing = set(ARRAY_DTYPES) - set(arrays)
-    extra = set(arrays) - set(ARRAY_DTYPES)
+    extra = set(arrays) - set(ARRAY_DTYPES) - set(OPTIONAL_ARRAY_DTYPES)
     if missing or extra:
         raise StoreError(
             f"array set mismatch: missing={sorted(missing)}, "
@@ -228,7 +239,8 @@ def write_bundle(
         manifest = {}
         for name, arr in arrays.items():
             faults.check("store.write_array", array=name, bundle=bundle)
-            arr = np.ascontiguousarray(arr, dtype=ARRAY_DTYPES[name])
+            dtype = ARRAY_DTYPES.get(name) or OPTIONAL_ARRAY_DTYPES[name]
+            arr = np.ascontiguousarray(arr, dtype=dtype)
             path = array_path(staging, name)
             np.save(path, arr)
             _fsync_path(path)
@@ -312,7 +324,11 @@ def read_header(bundle: str) -> dict:
             "bundle from its source document)"
         )
     manifest = header.get("arrays")
-    if not isinstance(manifest, dict) or set(manifest) != set(ARRAY_DTYPES):
+    if not isinstance(manifest, dict):
+        raise StoreFormatError(f"{bundle!r}: array manifest mismatch")
+    names = set(manifest)
+    required = set(ARRAY_DTYPES)
+    if not (required <= names <= required | set(OPTIONAL_ARRAY_DTYPES)):
         raise StoreFormatError(f"{bundle!r}: array manifest mismatch")
     return header
 

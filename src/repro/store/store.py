@@ -384,6 +384,11 @@ def save_document(
         "bp_block_min": bp_state["block_min"],
         "bp_block_max": bp_state["block_max"],
         "bp_block_start_excess": bp_state["block_start_excess"],
+        # Optional (additive) columns: the postorder ranks the window-
+        # join strategy consumes.  Computed here at build time so an
+        # mmap reopen never pays the lexsort; bundles written before the
+        # column existed still open, and the index rebuilds it lazily.
+        "post": index.post_array(),
     }
     header = {
         "n": tree.n,
@@ -474,6 +479,14 @@ def open_document(path: str, *, mmap: bool = True) -> StoredDocument:
     index._xml_end_arr = xml_end_arr
     index._parent_arr = parent_arr
     index._label_of_arr = label_of_arr
+    # Optional window-join column (additive; absent from older bundles,
+    # in which case TreeIndex.post_array() re-derives it on demand).
+    if "post" in manifest:
+        try:
+            index._post_arr = load("post")
+        except BaseException:
+            _release_mapped(mapped)
+            raise
     # Build-time document statistics (absent from pre-planner bundles;
     # the planner then falls back to a one-off computed sweep).
     stats = header.get("stats")

@@ -230,3 +230,150 @@ def fuzz_corpus(
         ]
         corpus.append((xml, queries))
     return corpus
+
+
+# -- window-join adversarial corpus ------------------------------------------
+#
+# Document and query shapes aimed at the window strategy's join
+# machinery: long same-label sibling runs (the following-sibling window
+# must stop at the right parent boundary), deep single-child chains
+# (ancestor joins and staircase pruning over maximally nested windows),
+# and *adjacent* same-label subtrees whose windows touch without
+# nesting -- the off-by-one class where a half-open interval join would
+# leak a neighbouring subtree's nodes.
+
+
+def window_adversarial_document(
+    rng: random.Random,
+    *,
+    labels=LABELS,
+    max_depth: int = 6,
+) -> str:
+    """A document biased toward sibling runs, chains, and twin subtrees."""
+
+    def chain(depth: int) -> str:
+        # A deep single-child spine; every level reuses few labels so
+        # ancestor::<label> has matches at many depths.
+        label = rng.choice(labels[:2])
+        if depth >= max_depth:
+            return f"<{label}/>"
+        return f"<{label}>{chain(depth + 1)}</{label}>"
+
+    def sibling_run(depth: int) -> str:
+        # A long run of same-label siblings, with an occasional
+        # different label breaking the run mid-way.
+        label = rng.choice(labels)
+        run = []
+        for i in range(rng.randint(3, 6)):
+            if i == 2 and rng.random() < 0.5:
+                run.append(f"<{rng.choice(labels)}/>")
+            body = shape(depth + 1) if rng.random() < 0.3 else ""
+            run.append(f"<{label}>{body}</{label}>" if body else f"<{label}/>")
+        return "".join(run)
+
+    def twins(depth: int) -> str:
+        # Two structurally identical same-label subtrees side by side:
+        # their windows are adjacent on the preorder axis.
+        label = rng.choice(labels)
+        body = shape(depth + 1)
+        return f"<{label}>{body}</{label}>" * 2
+
+    def shape(depth: int) -> str:
+        if depth >= max_depth:
+            return f"<{rng.choice(labels)}/>"
+        r = rng.random()
+        if r < 0.3:
+            return chain(depth)
+        if r < 0.6:
+            return sibling_run(depth)
+        if r < 0.8:
+            return twins(depth)
+        label = rng.choice(labels)
+        body = "".join(
+            shape(depth + 1) for _ in range(rng.randint(1, 3))
+        )
+        return f"<{label}>{body}</{label}>"
+
+    root = rng.choice(labels)
+    body = "".join(shape(1) for _ in range(rng.randint(2, 3)))
+    return f"<{root}>{body}</{root}>"
+
+
+def random_window_query(
+    rng: random.Random,
+    *,
+    labels=LABELS,
+    max_steps: int = 4,
+) -> str:
+    """A random query biased toward the window strategy's hard cases:
+    following-sibling *chains*, ancestor/parent steps, and predicates
+    whose inner paths are themselves backward or sibling probes."""
+
+    def node_test() -> str:
+        r = rng.random()
+        if r < 0.6:
+            return rng.choice(labels)
+        if r < 0.75:
+            return "*"
+        if r < 0.85:
+            return "node()"
+        return rng.choice(labels)
+
+    def predicate() -> str:
+        kind = rng.randint(0, 5)
+        if kind == 0:
+            # Deep ancestor predicate: the witness is levels above.
+            return f"ancestor::{rng.choice(labels)}"
+        if kind == 1:
+            return f"following-sibling::{node_test()}"
+        if kind == 2:
+            return f"not(ancestor::{rng.choice(labels)})"
+        if kind == 3:
+            op = rng.choice(("and", "or"))
+            return f"ancestor::{rng.choice(labels)} {op} {rel_path()}"
+        if kind == 4:
+            return f".//{rng.choice(labels)}/parent::{node_test()}"
+        return rel_path()
+
+    def rel_path() -> str:
+        test = rng.choice(labels)
+        lead = rng.choice(("", ".//"))
+        if rng.random() < 0.4:
+            return f"{lead}{test}/{rng.choice(labels)}"
+        return f"{lead}{test}"
+
+    def step(first: bool) -> str:
+        if not first:
+            r = rng.random()
+            if r < 0.35:
+                # Sibling chains: frequently two in a row.
+                chain = f"/following-sibling::{node_test()}"
+                if rng.random() < 0.4:
+                    chain += f"/following-sibling::{node_test()}"
+                return chain
+            if r < 0.5:
+                kind = rng.choice(("parent", "ancestor"))
+                return f"/{kind}::{node_test()}"
+        sep = rng.choice(("/", "//"))
+        pred = f"[{predicate()}]" if rng.random() < 0.5 else ""
+        return f"{sep}{node_test()}{pred}"
+
+    n_steps = rng.randint(1, max_steps)
+    return "".join(step(first=(i == 0)) for i in range(n_steps))
+
+
+def window_fuzz_corpus(
+    seed: int, n_documents: int, queries_per_document: int
+) -> list:
+    """A reproducible ``(xml, [query, ...])`` corpus of window-join
+    adversarial shapes (same contract as :func:`fuzz_corpus`)."""
+    rng = random.Random(seed)
+    corpus = []
+    for _ in range(n_documents):
+        xml = window_adversarial_document(rng)
+        queries = [
+            random_window_query(rng)
+            for _ in range(queries_per_document)
+        ]
+        corpus.append((xml, queries))
+    return corpus

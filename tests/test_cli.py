@@ -105,11 +105,18 @@ class TestCLI:
         assert "candidate costs" in out
 
     def test_plan_explain_backward_axis_resolves(self, xml_file):
+        # Backward axes stay inside the planned fragment now: the window
+        # strategy evaluates them natively (reverse window containment),
+        # so the planner prices it as the sole candidate and freezes.
         code, out = run(["plan", "explain", "//b/parent::a", xml_file, "--json"])
         assert code == 0
         verdict = json.loads(out)
-        assert verdict["strategy"] == "mixed"
-        assert "planner" not in verdict
+        assert verdict["strategy"] == "auto"
+        assert verdict["executes_as"] == "window"
+        assert verdict["planner"]["costs"] == {"window": pytest.approx(
+            verdict["planner"]["estimate"]
+        )}
+        assert verdict["planner"]["frozen"] is True
 
     def test_explain(self, xml_file):
         code, out = run(["//a//b", xml_file, "--explain"])

@@ -25,16 +25,18 @@ from repro.tree.binary import BinaryTree
 from repro.tree.parser import parse_xml
 from repro.xpath.parser import parse_xpath
 from repro.xpath.reference import evaluate_reference
-from strategies import fuzz_corpus
+from strategies import fuzz_corpus, window_fuzz_corpus
 
 SEED = 0xC0FFEE
 
-# Four corpora: plain element documents over forward queries, the full
+# Five corpora: plain element documents over forward queries, the full
 # axis mix (following-sibling + backward axes), attribute/text encoded
-# documents, and a deeper-predicate forward corpus aimed at the
-# set-at-a-time fragment (the vectorized strategy and the auto planner
-# run it like every other registered strategy).  ~350 (document, query)
-# cases in total.
+# documents, a deeper-predicate forward corpus aimed at the
+# set-at-a-time fragment, and a window-join adversarial corpus --
+# sibling runs, deep chains, adjacent twin subtrees, ancestor-heavy
+# predicates -- aimed at the interval-join strategy (every registered
+# strategy, the vectorized one and the auto planner included, runs all
+# of them).  ~400 (document, query) cases in total.
 CORPORA = [
     pytest.param(
         fuzz_corpus(SEED, 8, 16),
@@ -59,6 +61,11 @@ CORPORA = [
         ),
         dict(encode_attributes=False, encode_text=False),
         id="deep-predicates",
+    ),
+    pytest.param(
+        window_fuzz_corpus(SEED + 4, 4, 14),
+        dict(encode_attributes=False, encode_text=False),
+        id="window-shapes",
     ),
 ]
 
@@ -105,6 +112,7 @@ def test_new_strategies_are_fuzzed():
     guards against either silently dropping out of the registry."""
     names = registry.strategy_names()
     assert "vectorized" in names
+    assert "window" in names
     assert "auto" in names
 
 
@@ -130,6 +138,27 @@ def test_corpus_is_reproducible():
     a = fuzz_corpus(SEED + 1, 2, 4, backward=True, following=True)
     b = fuzz_corpus(SEED + 1, 2, 4, backward=True, following=True)
     assert a == b
+    assert window_fuzz_corpus(SEED + 4, 2, 4) == window_fuzz_corpus(
+        SEED + 4, 2, 4
+    )
+
+
+def test_window_corpus_exercises_its_shapes():
+    """The adversarial corpus actually emits the constructs it targets:
+    sibling chains, ancestor predicates, and backward steps."""
+    blob = "\n".join(
+        q
+        for _, queries in window_fuzz_corpus(SEED + 4, 4, 14)
+        for q in queries
+    )
+    for construct in (
+        "following-sibling::",
+        "ancestor::",
+        "parent::",
+        "[ancestor::",
+        "not(ancestor::",
+    ):
+        assert construct in blob, f"fuzzer never produced {construct!r}"
 
 
 def test_corpus_exercises_the_grammar():

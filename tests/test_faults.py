@@ -35,7 +35,16 @@ from repro.store import (
     open_document,
     verify_document,
 )
-from repro.store.format import ARRAY_DTYPES, HEADER_FILE, array_path
+from repro.store.format import (
+    ARRAY_DTYPES,
+    HEADER_FILE,
+    OPTIONAL_ARRAY_DTYPES,
+    array_path,
+)
+
+#: Every array a freshly written bundle contains -- the required set
+#: plus the optional columns (``post``) that save_document always emits.
+ALL_ARRAYS = {**ARRAY_DTYPES, **OPTIONAL_ARRAY_DTYPES}
 
 XML = "<r><a><b/></a><a/><c><b/></c></r>"
 #: //a/b on XML above (node ids are stable: document order).
@@ -156,10 +165,11 @@ def bundle(pristine, tmp_path):
 
 
 class TestCorruptionRecall:
-    """Deep verification catches every single-array corruption: 15
-    arrays x {truncate, bit_flip} = 30 damage cases, 100% recall."""
+    """Deep verification catches every single-array corruption: 16
+    arrays (optional ``post`` included) x {truncate, bit_flip} = 32
+    damage cases, 100% recall."""
 
-    @pytest.mark.parametrize("array", sorted(ARRAY_DTYPES))
+    @pytest.mark.parametrize("array", sorted(ALL_ARRAYS))
     @pytest.mark.parametrize("mode", ["truncate", "bit_flip"])
     def test_deep_verify_catches(self, bundle, array, mode):
         verify_document(bundle, deep=True)  # pristine copy passes
@@ -202,7 +212,7 @@ class TestCorruptionRecall:
         assert report["ok"] is True
         assert report["mode"] == "deep"
         assert report["checksums"] is True
-        assert set(report["arrays"]) == set(ARRAY_DTYPES)
+        assert set(report["arrays"]) == set(ALL_ARRAYS)
         for entry in report["arrays"].values():
             assert entry["bytes"] > 0
             assert len(entry["crc32"]) == 8

@@ -156,11 +156,17 @@ class TestPlannerStrategy:
         assert state.choice.strategy == "vectorized"
         assert state.active.name == "vectorized"
 
-    def test_backward_axes_bypass_the_planner(self, index):
+    def test_backward_axes_plan_onto_window(self, index):
+        # Backward axes used to bypass the planner (mixed fallback); the
+        # window strategy evaluates them natively, so they now plan with
+        # ``window`` as the sole candidate and freeze at prepare time.
         engine = Engine(index, strategy="auto")
         plan = engine.prepare("//b/parent::a")
-        assert plan.strategy.name == "mixed"
-        assert "planner" not in plan.artifacts
+        assert plan.strategy.name == "auto"
+        state = plan.artifacts["planner"]
+        assert set(state.choice.costs) == {"window"}
+        assert state.frozen is True
+        assert plan._execute_impl == state.active.execute
 
     def test_results_match_oracle(self, index):
         auto = Engine(index, strategy="auto")

@@ -16,6 +16,7 @@ import time
 import pytest
 
 from repro import faults
+from repro.engine.api import Engine
 from repro.engine.workspace import Workspace
 from repro.serve import DaemonThread, QueryDaemon, ServeClient, ServeError
 from repro.store import DocumentStore, live_readers
@@ -269,6 +270,80 @@ class TestReloadPolling:
         build_corpus(tmp_path, {"doc": XML_V1})
         with pytest.raises(ValueError, match="reload_poll"):
             QueryDaemon(str(tmp_path), reload_poll=-1.0)
+
+
+class TestPlannerRefresh:
+    """Planner doc-stats staleness across reloads (and future in-place
+    updates): ``Engine.refresh_planner`` rebuilds every cached ``auto``
+    plan's :class:`~repro.engine.planner.PlannerState` from the index's
+    *current* statistics, discarding frozen dispatch."""
+
+    FREEZE_XML = "<r>" + "<a><b/><b/></a>" * 20 + "<c/>" * 5 + "</r>"
+
+    def test_refresh_planner_unfreezes_and_replans(self):
+        eng = Engine(self.FREEZE_XML, strategy="auto")
+        plan = eng.prepare("//a/b")
+        oracle = plan.select()
+        for _ in range(24):  # trials + convergence runs
+            plan.execute()
+        state = plan.artifacts["planner"]
+        assert state.frozen, "plan never converged; test premise broken"
+        assert eng.refresh_planner(doc_stats={"height": 3}) == 1
+        fresh = plan.artifacts["planner"]
+        assert fresh is not state
+        assert fresh.frozen is False and fresh.runs == 0
+        # The frozen fast-path delegate is undone: execution routes
+        # through the auto strategy (and its feedback loop) again.
+        assert plan._execute_impl == plan.strategy.execute
+        # The doctored statistics landed on the index.
+        assert eng.index.doc_stats == {"height": 3}
+        # And the refreshed plan still answers correctly.
+        assert plan.select() == oracle
+
+    def test_refresh_planner_skips_non_auto_plans(self):
+        eng = Engine(self.FREEZE_XML, strategy="auto")
+        eng.prepare("//a/b")
+        eng.prepare("//c", strategy="vectorized")
+        eng.prepare("//a", strategy="optimized")
+        assert eng.refresh_planner() == 1
+
+    def test_refresh_planner_reprices_against_new_stats(self):
+        """The refresh is not a cosmetic unfreeze: the rebuilt state
+        re-extracts features, so its cost table reflects whatever the
+        document reports *now*."""
+        eng = Engine(self.FREEZE_XML, strategy="auto")
+        plan = eng.prepare("//a/b")
+        before = plan.artifacts["planner"].choice.costs
+        eng.refresh_planner()
+        after = plan.artifacts["planner"].choice.costs
+        assert after == before  # same document -> same pricing
+
+    def test_reload_replans_changed_document(self, tmp_path):
+        """Daemon-level pin: after a reload, the replaced document's
+        planner verdict is priced against the *new* bundle's statistics
+        (fresh state, zero runs), while the unchanged document keeps its
+        warm plan untouched."""
+        store = build_corpus(tmp_path, {"doc": XML_V1, "stable": XML_V1})
+        with DaemonThread(QueryDaemon(str(tmp_path), workers=2)) as handle:
+            with ServeClient(port=handle.port) as client:
+                before = client.explain("//a/b", document="doc")
+                for _ in range(4):  # warm both plans
+                    client.query("//a/b", document="doc")
+                    client.query("//a/b", document="stable")
+                store.replace("doc", XML_V2)
+                client.reload()
+                after = client.explain("//a/b", document="doc")
+                assert after["warm"] is False  # re-prepared from scratch
+                assert after["planner"]["runs"] == 0
+                assert after["planner"]["frozen"] is False
+                # v1 has two <a> elements, v2 one: the step-candidate
+                # pricing must have moved with the document.
+                assert after["planner"]["costs"] != before["planner"]["costs"]
+                assert client.query("//a/b", document="doc")["ids"] == [2, 3]
+                # The untouched document's plan survived the reload warm.
+                stable = client.explain("//a/b", document="stable")
+                assert stable["warm"] is True
+                assert stable["planner"]["costs"] == before["planner"]["costs"]
 
 
 class TestWorkspaceSwap:

@@ -1,0 +1,445 @@
+"""The window-join strategy (repro.engine.window): XPath accelerator.
+
+Pins the pre/post encoding identities, each axis join against the
+reference evaluator, native backward axes, predicate window counts, the
+optional ``post`` store column (round trip + legacy bundles), sharded /
+pooled execution identity, planner integration, and the depth-bucket
+LRU's bound.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.counters import EvalStats
+from repro.engine import window
+from repro.engine.api import Engine
+from repro.engine.parallel import QueryService
+from repro.engine.registry import get_strategy, resolve
+from repro.engine.window import (
+    DepthBuckets,
+    WindowEncoding,
+    get_encoding,
+    is_window_evaluable,
+)
+from repro.engine.workspace import Workspace
+from repro.index.jumping import TreeIndex, postorder_from_xml_end
+from repro.store import open_document, save_document
+from repro.tree.binary import BinaryTree
+from repro.tree.parser import parse_xml
+from repro.xpath.parser import parse_xpath
+from repro.xpath.reference import evaluate_reference
+
+XML = (
+    "<site>"
+    "<a><x/><b/><c><b/><d/></c></a>"
+    "<b><a><b/></a></b>"
+    "<keyword/>"
+    "<listitem><text><keyword><emph/></keyword></text></listitem>"
+    "</site>"
+)
+
+FORWARD_QUERIES = [
+    "/site",
+    "/site/a/b",
+    "//b",
+    "//a//b",
+    "//*",
+    "//node()",
+    "/site/*/b",
+    "//a[b]",
+    "//a[.//b and c]",
+    "//a[not(b)]",
+    "//b[not(.//a) or x]",
+    "//c/following-sibling::b",
+    "/site/a/b/following-sibling::node()",
+    "//listitem[.//keyword and .//emph]",
+    "//a[/site/keyword]",
+    "//missing",
+    "//a[missing]",
+    "//keyword[.]",
+]
+
+BACKWARD_QUERIES = [
+    "//b/parent::a",
+    "//b/parent::node()",
+    "//b/ancestor::a",
+    "//emph/ancestor::node()",
+    "//b/ancestor::a/c",
+    "//d/parent::c/b",
+    "//b[parent::a]",
+    "//b[ancestor::site]",
+    "//a[b/parent::a]",
+    "//c[d]/b/ancestor::a",
+    "//keyword[not(ancestor::text)]",
+    "//b[following-sibling::c]",
+]
+
+
+@pytest.fixture(scope="module")
+def index():
+    return TreeIndex(BinaryTree.from_document(parse_xml(XML)))
+
+
+class TestEncoding:
+    def test_postorder_matches_recursive_definition(self, index):
+        tree = index.tree
+        post = np.empty(tree.n, dtype=np.int64)
+        clock = 0
+
+        def visit(v):
+            nonlocal clock
+            child = tree.left[v]
+            while child != -1:
+                visit(child)
+                child = tree.right[child]
+            post[v] = clock
+            clock += 1
+
+        visit(0)
+        derived = postorder_from_xml_end(index.xml_end_array())
+        assert derived.tolist() == post.tolist()
+
+    def test_depth_identity(self, index):
+        tree = index.tree
+        enc = get_encoding(index)
+        for v in range(tree.n):
+            d, u = 0, v
+            while tree.parent[u] != -1:
+                u = tree.parent[u]
+                d += 1
+            assert int(enc.depth[v]) == d
+
+    def test_ancestor_iff_window_dominates(self, index):
+        """The defining property: u is a proper ancestor of v iff
+        pre(u) < pre(v) and post(u) > post(v)."""
+        tree = index.tree
+        enc = get_encoding(index)
+
+        def is_ancestor(u, v):
+            while tree.parent[v] != -1:
+                v = tree.parent[v]
+                if v == u:
+                    return True
+            return False
+
+        for u in range(tree.n):
+            for v in range(tree.n):
+                window_says = u < v and enc.post[u] > enc.post[v]
+                assert window_says == is_ancestor(u, v), (u, v)
+
+    def test_depth_buckets_partition(self, index):
+        enc = get_encoding(index)
+        cand = np.arange(index.tree.n, dtype=np.int64)
+        buckets = DepthBuckets(cand, enc.depth)
+        seen = []
+        for d in buckets.depths:
+            sub = buckets.at(int(d))
+            assert (enc.depth[sub] == d).all()
+            assert (np.diff(sub) > 0).all()  # preorder-sorted
+            seen.extend(sub.tolist())
+        assert sorted(seen) == cand.tolist()
+        assert buckets.at(999).size == 0
+
+    def test_encoding_cached_on_index(self, index):
+        assert get_encoding(index) is get_encoding(index)
+
+
+class TestOracleIdentity:
+    @pytest.mark.parametrize("query", FORWARD_QUERIES + BACKWARD_QUERIES)
+    def test_matches_reference(self, index, query):
+        path = parse_xpath(query)
+        expected = evaluate_reference(index.tree, path)
+        accepted, got = window.evaluate(path, index)
+        assert got == expected
+        assert accepted == bool(expected)
+
+    def test_matches_reference_on_encoded_doc(self):
+        tree = BinaryTree.from_document(
+            parse_xml('<r a="1"><x b="2">text</x><y>more</y></r>'),
+            encode_attributes=True,
+            encode_text=True,
+        )
+        index = TreeIndex(tree)
+        for query in (
+            "//x[@b]",
+            "/r[@a]/x",
+            "//@b",
+            "//x/text()",
+            "//*",
+            "//node()",
+            "/r/*[text()]",
+            "//@b/parent::x",
+            "//x[@b]/ancestor::r",
+        ):
+            path = parse_xpath(query)
+            _, got = window.evaluate(path, index)
+            assert got == evaluate_reference(tree, path), query
+
+    def test_degenerate_single_node_document(self):
+        index = TreeIndex(BinaryTree.from_spec("r"))
+        assert window.evaluate(parse_xpath("/r"), index) == (True, [0])
+        assert window.evaluate(parse_xpath("/x"), index) == (False, [])
+        assert window.evaluate(parse_xpath("//r[x]"), index) == (False, [])
+        assert window.evaluate(parse_xpath("//r/ancestor::r"), index) == (
+            False,
+            [],
+        )
+
+    def test_fig4_mix_on_xmark(self, xmark_index):
+        from repro.xmark.queries import QUERIES as FIG4
+
+        naive = Engine(xmark_index, strategy="naive")
+        for qid, query in FIG4.items():
+            expected = list(naive.prepare(query).execute().ids)
+            _, got = window.evaluate(parse_xpath(query), xmark_index)
+            assert got == expected, qid
+
+    def test_results_sorted_and_unique(self, index):
+        _, ids = window.evaluate(parse_xpath("//a//b"), index)
+        assert ids == sorted(set(ids))
+        assert all(isinstance(v, int) for v in ids)
+
+
+class TestFragment:
+    def test_supports_every_absolute_path(self):
+        strategy = get_strategy("window")
+        assert strategy.supports(parse_xpath("//a//b[c]"))
+        assert strategy.supports(parse_xpath("/a/following-sibling::b"))
+        # Backward axes are native here -- the vectorized fragment's gap.
+        assert strategy.supports(parse_xpath("//a/parent::b"))
+        assert strategy.supports(parse_xpath("//b/ancestor::a"))
+        assert not strategy.supports(parse_xpath("a/b"))  # relative
+
+    def test_relative_path_resolves_to_optimized(self):
+        assert resolve("window", parse_xpath("a/b")).name == "optimized"
+
+    def test_backward_absolute_stays_window(self):
+        assert resolve("window", parse_xpath("//a/parent::b")).name == "window"
+
+    def test_evaluate_rejects_relative_queries(self, index):
+        with pytest.raises(ValueError, match="window-join fragment"):
+            window.evaluate(parse_xpath("a/b"), index)
+
+    def test_is_window_evaluable(self):
+        assert is_window_evaluable(parse_xpath("//a"))
+        assert not is_window_evaluable(parse_xpath("a"))
+
+    def test_engine_integration(self, index):
+        engine = Engine(index, strategy="window")
+        assert engine.select("//a//b") == [3, 5, 9]
+        plan = engine.prepare("//a//b")
+        assert plan.strategy.name == "window"
+        # Backward axes do NOT fall back to the mixed pipeline.
+        backward = engine.prepare("//b/ancestor::a")
+        assert backward.strategy.name == "window"
+        assert backward.select() == evaluate_reference(
+            index.tree, parse_xpath("//b/ancestor::a")
+        )
+
+    def test_explain_describes_native_backward_plan(self, index):
+        engine = Engine(index, strategy="window")
+        text = engine.prepare("//b/ancestor::a").explain()
+        assert "reverse window containment" in text
+        assert "mixed pipeline" not in text
+
+
+class TestStoreColumn:
+    def test_round_trip_persists_post(self, tmp_path):
+        bundle = str(tmp_path / "doc")
+        save_document(XML, bundle)
+        header = json.load(open(os.path.join(bundle, "header.json")))
+        assert "post" in header["arrays"]
+        fresh = TreeIndex(BinaryTree.from_document(parse_xml(XML)))
+        expected = fresh.post_array().tolist()
+        stored = open_document(bundle)
+        try:
+            # The column arrives pre-seeded from the mapped file.
+            assert stored.index._post_arr.tolist() == expected
+            assert stored.index.post_array().tolist() == expected
+            _, got = window.evaluate(
+                parse_xpath("//b/ancestor::a"), stored.index
+            )
+            assert got == evaluate_reference(
+                fresh.tree, parse_xpath("//b/ancestor::a")
+            )
+        finally:
+            stored.close()
+
+    def test_legacy_bundle_without_post_still_opens(self, tmp_path):
+        """A bundle written before the column existed (same format v2,
+        no ``post`` in the manifest) opens fine; the index re-derives
+        the column on demand."""
+        bundle = str(tmp_path / "doc")
+        save_document(XML, bundle)
+        os.remove(os.path.join(bundle, "post.npy"))
+        header_path = os.path.join(bundle, "header.json")
+        header = json.load(open(header_path))
+        meta = header["arrays"].pop("post")
+        assert meta["dtype"] == "int64"
+        with open(header_path, "w") as handle:
+            json.dump(header, handle)
+        fresh = TreeIndex(BinaryTree.from_document(parse_xml(XML)))
+        stored = open_document(bundle)
+        try:
+            assert getattr(stored.index, "_post_arr", None) is None
+            assert (
+                stored.index.post_array().tolist()
+                == fresh.post_array().tolist()
+            )
+            for query in ("//a//b", "//b/ancestor::a"):
+                _, got = window.evaluate(parse_xpath(query), stored.index)
+                assert got == evaluate_reference(
+                    fresh.tree, parse_xpath(query)
+                )
+        finally:
+            stored.close()
+
+    def test_deep_verify_covers_post(self, tmp_path):
+        from repro.store.format import verify_bundle
+
+        bundle = str(tmp_path / "doc")
+        save_document(XML, bundle)
+        report = verify_bundle(bundle, deep=True)
+        assert "post" in report["arrays"]
+        assert "crc32" in report["arrays"]["post"]
+
+
+class TestParallelIdentity:
+    SHARD_QUERIES = [
+        "//a//b",
+        "//c/following-sibling::b",
+        "//b/ancestor::a",
+        "//a[.//b and c]",
+        "//listitem[.//keyword and .//emph]",
+    ]
+
+    @pytest.mark.parametrize("executor", ["thread", "pool"])
+    def test_sharded_matches_reference(self, executor):
+        ws = Workspace(strategy="window")
+        ws.add("doc", XML)
+        tree = ws.engine("doc").tree
+        try:
+            with QueryService(
+                ws, jobs=2, shards=3, executor=executor
+            ) as service:
+                for query in self.SHARD_QUERIES:
+                    got = list(service.execute(query, "doc").ids)
+                    assert got == evaluate_reference(
+                        tree, parse_xpath(query)
+                    ), query
+        finally:
+            ws.close()
+
+    def test_sharded_store_reopened(self, tmp_path):
+        bundle = str(tmp_path / "doc")
+        save_document(XML, bundle)
+        ws = Workspace(strategy="window")
+        stored = open_document(bundle)
+        ws.add_stored("doc", stored)
+        tree = stored.index.tree
+        try:
+            with QueryService(ws, jobs=2, shards=3) as service:
+                for query in self.SHARD_QUERIES:
+                    got = list(service.execute(query, "doc").ids)
+                    assert got == evaluate_reference(
+                        tree, parse_xpath(query)
+                    ), query
+        finally:
+            ws.close()
+
+
+class TestPlannerIntegration:
+    def test_window_is_a_candidate(self, index):
+        from repro.engine.planner import CANDIDATES, PlannerState
+
+        assert "window" in CANDIDATES
+        state = PlannerState.plan(parse_xpath("//a/b"), index)
+        assert "window" in state.choice.costs
+
+    def test_auto_runs_backward_paths_on_window(self, index):
+        engine = Engine(index, strategy="auto")
+        plan = engine.prepare("//b/ancestor::a")
+        assert plan.strategy.name == "auto"
+        state = plan.artifacts["planner"]
+        # window is the only set-at-a-time candidate for backward axes.
+        assert set(state.choice.costs) == {"window"}
+        assert plan.select() == evaluate_reference(
+            index.tree, parse_xpath("//b/ancestor::a")
+        )
+        assert state.active.name == "window"
+
+    def test_optimized_not_priced_for_backward_paths(self, index):
+        from repro.engine.planner import PlannerState
+
+        state = PlannerState.plan(parse_xpath("//b/ancestor::a"), index)
+        assert "optimized" not in state.choice.costs
+
+    def test_forward_paths_price_all_candidates(self, index):
+        from repro.engine.planner import PlannerState
+
+        state = PlannerState.plan(parse_xpath("//a/b[c]"), index)
+        assert {"vectorized", "window", "optimized"} <= set(
+            state.choice.costs
+        )
+
+
+class TestBucketCache:
+    def test_lru_bound_and_counters(self, monkeypatch):
+        monkeypatch.setattr(window, "BUCKET_CACHE_SIZE", 2)
+        index = TreeIndex(BinaryTree.from_document(parse_xml(XML)))
+        enc = WindowEncoding(index)
+        cand = np.arange(index.tree.n, dtype=np.int64)
+        for key in ((1,), (2,), (3,)):
+            enc.buckets(key, cand)
+        assert enc.cache_info()["size"] == 2
+        assert enc.cache_info()["evictions"] == 1
+        assert enc.cache_info()["misses"] == 3
+        enc.buckets((3,), cand)  # still resident
+        assert enc.cache_info()["hits"] == 1
+
+    def test_repeated_execution_hits_cache(self, index):
+        index = TreeIndex(
+            BinaryTree.from_document(parse_xml(XML))
+        )  # fresh: no shared encoding state
+        engine = Engine(index, strategy="window")
+        plan = engine.prepare("//a/b")
+        plan.execute()
+        enc = get_encoding(index)
+        misses = enc.cache_info()["misses"]
+        plan.execute()
+        info = enc.cache_info()
+        assert info["misses"] == misses  # no re-partitioning
+        assert info["hits"] > 0
+
+    def test_encoding_survives_pickling(self, index):
+        import pickle
+
+        enc = get_encoding(index)
+        clone = pickle.loads(pickle.dumps(enc))
+        assert clone.post.tolist() == enc.post.tolist()
+        clone.buckets((1,), np.arange(3, dtype=np.int64))  # lock works
+
+
+class TestCounters:
+    def test_child_join_books_bucket_slices_only(self, index):
+        stats = EvalStats()
+        window.evaluate(parse_xpath("/site/a"), index, stats)
+        # The child join touches only the depth-1 slice of the 'a'
+        # candidates, not the whole array.
+        assert stats.visited <= index.labels.count("a") + 1
+        assert stats.selected == 1
+        assert stats.jumps >= 1
+
+    def test_probes_count_batched_searches(self, index):
+        stats = EvalStats()
+        window.evaluate(parse_xpath("//b/ancestor::a"), index, stats)
+        assert stats.index_probes > 0
+
+    def test_predicate_candidates_are_counted(self, index):
+        plain, with_pred = EvalStats(), EvalStats()
+        window.evaluate(parse_xpath("//a"), index, plain)
+        window.evaluate(parse_xpath("//a[.//b]"), index, with_pred)
+        assert with_pred.visited > plain.visited
